@@ -1,0 +1,57 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench binary prints its table/figure reproduction first (paper
+// value vs measured value) and then runs its registered
+// google-benchmark microbenchmarks, so `./bench_binary` produces the
+// full report and `./bench_binary --benchmark_filter=...` still works
+// as a normal benchmark harness.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "autocfd/cfd/apps.hpp"
+#include "autocfd/core/pipeline.hpp"
+#include "autocfd/fortran/parser.hpp"
+
+namespace bench_util {
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// Runs a sequential reference of `source` under the standard machine.
+inline autocfd::codegen::SeqRunResult run_seq(
+    const std::string& source, const std::vector<std::string>& status) {
+  auto file = autocfd::fortran::parse_source(source);
+  return autocfd::codegen::run_sequential_timed(
+      file, status, autocfd::mp::MachineConfig::pentium_ethernet_1999());
+}
+
+/// Parallelizes and runs `source` under `partition`.
+inline autocfd::codegen::SpmdRunResult run_par(
+    const std::string& source, const std::string& partition) {
+  autocfd::DiagnosticEngine diags;
+  auto dirs = autocfd::core::Directives::extract(source, diags);
+  dirs.partition = autocfd::partition::PartitionSpec::parse(partition);
+  auto program = autocfd::core::parallelize(source, dirs);
+  return program->run(autocfd::mp::MachineConfig::pentium_ethernet_1999());
+}
+
+/// Standard tail: print a footer and hand over to google-benchmark.
+inline int finish(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench_util

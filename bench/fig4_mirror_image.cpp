@@ -1,0 +1,104 @@
+// Figures 3 and 4: self-dependent field loops and mirror-image
+// decomposition.
+//
+// Rebuilds the point-level dependence graph of the Figure 3(b) loop,
+// shows that treating all accesses as ordering edges yields a cyclic
+// graph (why traditional wavefront methods give up), and that the
+// mirror-image decomposition splits it into two acyclic, wavefront-
+// schedulable sub-graphs — exactly Figure 4(b) -> (c)+(d).
+#include "bench_util.hpp"
+
+#include "autocfd/depend/point_graph.hpp"
+#include "autocfd/depend/self_dep.hpp"
+#include "autocfd/ir/field_loop.hpp"
+
+int main(int argc, char** argv) {
+  using namespace autocfd;
+  using depend::PointDepGraph;
+
+  bench_util::heading("Figures 3-4: mirror-image decomposition");
+
+  // Figure 3(a): forward-only Gauss-Seidel.
+  {
+    const auto g = PointDepGraph::build(6, 6, {{-1, 0}, {0, -1}});
+    std::printf(
+        "Figure 3(a)  v(i,j) = f(v(i-1,j), v(i,j-1)):\n"
+        "  %zu dependence edges, cyclic: %s, wavefront depth %d\n"
+        "  -> parallelizable directly by wavefront / loop skewing\n\n",
+        g.edges().size(), g.has_cycle() ? "yes" : "no", g.wavefront_depth());
+  }
+
+  // Figure 3(b): both directions.
+  const auto g =
+      PointDepGraph::build(6, 6, {{-1, 0}, {1, 0}, {0, -1}, {0, 1}});
+  int fwd = 0, bwd = 0;
+  for (const auto& e : g.edges()) {
+    (e.dir == depend::EdgeDir::Forward ? fwd : bwd)++;
+  }
+  std::printf(
+      "Figure 3(b)  v(i,j) = f(v(i-1,j), v(i+1,j), v(i,j-1), v(i,j+1)):\n"
+      "  %zu edges (%d along, %d against lexicographic order)\n"
+      "  treating all as ordering constraints -> cyclic: %s\n"
+      "  -> NOT parallelizable by traditional methods [Banerjee et al.]\n\n",
+      g.edges().size(), fwd, bwd, g.has_cycle() ? "yes" : "no");
+
+  const auto dec = g.mirror_decompose();
+  std::printf(
+      "Figure 4: mirror-image decomposition by access direction:\n"
+      "  forward sub-graph : %zu edges, cyclic: %s, wavefront depth %d\n"
+      "  backward sub-graph: %zu edges, cyclic: %s, wavefront depth %d\n"
+      "  -> each half is pipelined / wavefront-scheduled independently\n\n",
+      dec.forward.edges().size(), dec.forward.has_cycle() ? "yes" : "no",
+      dec.forward.wavefront_depth(), dec.backward.edges().size(),
+      dec.backward.has_cycle() ? "yes" : "no",
+      dec.backward.wavefront_depth());
+
+  // The compiler-facing classification of the same loop.
+  {
+    auto file = fortran::parse_source(
+        "program p\n"
+        "real v(16, 16)\n"
+        "integer i, j\n"
+        "do i = 2, 15\n"
+        "  do j = 2, 15\n"
+        "    v(i, j) = 0.25 * (v(i - 1, j) + v(i + 1, j) &\n"
+        "            + v(i, j - 1) + v(i, j + 1))\n"
+        "  end do\n"
+        "end do\n"
+        "end\n");
+    ir::FieldConfig cfg;
+    cfg.grid_rank = 2;
+    cfg.status_arrays = {"v"};
+    DiagnosticEngine diags;
+    const auto loops = ir::analyze_field_loops(file.units[0], cfg, diags);
+    const auto plan = depend::analyze_self_dependence(
+        loops[0], "v", partition::PartitionSpec{{4, 1}});
+    std::printf(
+        "Pre-compiler plan under 4x1: kind=%s, pipeline dims=%zu,\n"
+        "  flow halo lo=%d (pipelined updated boundary), pre halo hi=%d\n"
+        "  (old values exchanged before the sweep)\n",
+        std::string(depend::self_dep_kind_name(plan.kind)).c_str(),
+        plan.pipeline_dims.size(), plan.flow_halo.lo[0], plan.pre_halo.hi[0]);
+  }
+
+  benchmark::RegisterBenchmark("mirror_decompose/64x64",
+                               [](benchmark::State& s) {
+                                 const auto big = PointDepGraph::build(
+                                     64, 64,
+                                     {{-1, 0}, {1, 0}, {0, -1}, {0, 1}});
+                                 for (auto _ : s) {
+                                   benchmark::DoNotOptimize(
+                                       big.mirror_decompose());
+                                 }
+                               });
+  benchmark::RegisterBenchmark("wavefront_levels/64x64",
+                               [](benchmark::State& s) {
+                                 const auto big = PointDepGraph::build(
+                                     64, 64, {{-1, 0}, {0, -1}});
+                                 for (auto _ : s) {
+                                   benchmark::DoNotOptimize(
+                                       big.wavefront_levels());
+                                 }
+                               });
+  return bench_util::finish(argc, argv);
+}

@@ -1,0 +1,308 @@
+#include <sstream>
+#include <vector>
+
+#include "autocfd/cfd/apps.hpp"
+
+namespace autocfd::cfd {
+
+namespace {
+
+/// Transported variables: droplet size classes (spray codes bin the
+/// droplet spectrum), the k-epsilon turbulence pair, heat and humidity.
+constexpr const char* kComps[] = {"c1", "c2", "c3", "c4", "c5", "c6",
+                                  "tke", "eps", "ht", "hm"};
+
+struct Ctx {
+  std::ostringstream os;
+
+  void commons() {
+    os << "parameter (nx = %NX%, ny = %NY%)\n";
+    os << "real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)\n";
+    os << "real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)\n";
+    os << "real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)\n";
+    os << "real resmax\n";
+    os << "common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, "
+          "src, resmax\n";
+    for (const auto* c : kComps) {
+      os << "real " << c << "(nx, ny), " << c << "o(nx, ny), " << c
+         << "t(nx, ny)\n";
+      os << "common /sp" << c << "/ " << c << ", " << c << "o, " << c
+         << "t\n";
+    }
+  }
+
+  void header(const std::string& name) {
+    os << "subroutine " << name << "\n";
+    commons();
+    os << "integer i, j\n";
+  }
+
+  void footer() {
+    os << "return\n";
+    os << "end\n";
+  }
+
+  /// X-direction pass: writes `w(i,j)` from reads with i-offsets.
+  void xloop(const std::string& w, const std::vector<std::string>& reads,
+             const std::string& base) {
+    os << "do j = 1, ny\n";
+    os << "  do i = 2, nx - 1\n";
+    os << "    " << w << "(i, j) = 0.96 * " << base << "(i, j)";
+    int coef = 1;
+    for (const auto& r : reads) {
+      os << " &\n        + 0.00" << coef << " * (" << r << "(i + 1, j) - "
+         << r << "(i - 1, j))";
+      ++coef;
+    }
+    os << "\n";
+    os << "  end do\n";
+    os << "end do\n";
+  }
+
+  void yloop(const std::string& w, const std::vector<std::string>& reads,
+             const std::string& base) {
+    os << "do j = 2, ny - 1\n";
+    os << "  do i = 1, nx\n";
+    os << "    " << w << "(i, j) = 0.96 * " << base << "(i, j)";
+    int coef = 1;
+    for (const auto& r : reads) {
+      os << " &\n        + 0.00" << coef << " * (" << r << "(i, j + 1) - "
+         << r << "(i, j - 1))";
+      ++coef;
+    }
+    os << "\n";
+    os << "  end do\n";
+    os << "end do\n";
+  }
+};
+
+}  // namespace
+
+std::string SprayerParams::directive_grid() const {
+  std::ostringstream os;
+  os << "!$acfd grid " << nx << ' ' << ny;
+  return os.str();
+}
+
+std::string sprayer_source(const SprayerParams& p) {
+  Ctx c;
+  auto& os = c.os;
+
+  os << "!$acfd grid " << p.nx << ' ' << p.ny << '\n';
+  os << "!$acfd status u v uo vo psi psin omg omgn p po prs src";
+  for (const auto* s : kComps) os << ' ' << s << ' ' << s << "o " << s << 't';
+  os << '\n';
+
+  // ---- main ------------------------------------------------------------------
+  os << "program sprayer\n";
+  c.commons();
+  os << "parameter (nt = %NT%)\n";
+  os << "integer it\n";
+  os << "call init\n";
+  os << "do it = 1, nt\n";
+  os << "  call fansrc\n";
+  os << "  call saveold\n";
+  os << "  call xmom\n";
+  os << "  call ymom\n";
+  // Alternating-direction transport, phase major: all X predictors,
+  // all X correctors, then the Y half — so the per-component
+  // synchronization windows of one phase overlap and combine.
+  for (const auto* s : kComps) os << "  call xprd" << s << "\n";
+  for (const auto* s : kComps) os << "  call xcor" << s << "\n";
+  for (const auto* s : kComps) os << "  call yprd" << s << "\n";
+  for (const auto* s : kComps) os << "  call ycor" << s << "\n";
+  os << "  call prhsx\n";
+  os << "  call prhsy\n";
+  os << "  call pcorx\n";
+  os << "  call pcory\n";
+  os << "  call psix\n";
+  os << "  call psicpx\n";
+  os << "  call psiy\n";
+  os << "  call psicpy\n";
+  os << "  call vortx\n";
+  os << "  call vorcpx\n";
+  os << "  call vorty\n";
+  os << "  call vorcpy\n";
+  os << "  call veloc\n";
+  os << "  call resid\n";
+  os << "  if (resmax .lt. 1.0e-12) goto 900\n";
+  os << "end do\n";
+  os << "900 continue\n";
+  os << "end\n";
+
+  // ---- init ------------------------------------------------------------------
+  os << "subroutine init\n";
+  c.commons();
+  os << "integer i, j\n";
+  os << "do j = 1, ny\n";
+  os << "  do i = 1, nx\n";
+  os << "    u(i, j) = 0.02 * j\n";
+  os << "    v(i, j) = 0.0\n";
+  os << "    uo(i, j) = u(i, j)\n";
+  os << "    vo(i, j) = 0.0\n";
+  os << "    psi(i, j) = 0.01 * i * j\n";
+  os << "    psin(i, j) = 0.0\n";
+  os << "    omg(i, j) = 0.001 * (i - j)\n";
+  os << "    omgn(i, j) = 0.0\n";
+  os << "    p(i, j) = 1.0\n";
+  os << "    po(i, j) = 1.0\n";
+  os << "    prs(i, j) = 0.0\n";
+  os << "    src(i, j) = 0.0\n";
+  int phase = 1;
+  for (const auto* s : kComps) {
+    os << "    " << s << "(i, j) = 0.001 * " << phase << " * (i + j)\n";
+    os << "    " << s << "o(i, j) = " << s << "(i, j)\n";
+    os << "    " << s << "t(i, j) = 0.0\n";
+    ++phase;
+  }
+  os << "  end do\n";
+  os << "end do\n";
+  c.footer();
+
+  // ---- fan source (boundary sections) -----------------------------------------
+  c.header("fansrc");
+  os << "do j = 1, ny\n";
+  os << "  src(1, j) = 1.0 + 0.05 * j\n";
+  os << "  u(1, j) = 0.8\n";
+  os << "  u(nx, j) = 0.1\n";
+  os << "end do\n";
+  os << "do i = 1, nx\n";
+  os << "  v(i, 1) = 0.0\n";
+  os << "  v(i, ny) = 0.0\n";
+  os << "end do\n";
+  c.footer();
+
+  // ---- previous time level -------------------------------------------------------
+  c.header("saveold");
+  os << "do j = 1, ny\n";
+  os << "  do i = 1, nx\n";
+  os << "    uo(i, j) = u(i, j)\n";
+  os << "    vo(i, j) = v(i, j)\n";
+  os << "    po(i, j) = p(i, j)\n";
+  os << "  end do\n";
+  os << "end do\n";
+  c.footer();
+
+  // ---- momentum --------------------------------------------------------------------
+  c.header("xmom");
+  c.xloop("u", {"uo", "src", "po"}, "uo");
+  c.footer();
+  c.header("ymom");
+  c.yloop("v", {"vo", "src", "po"}, "vo");
+  c.footer();
+
+  // ---- transported components (ADI predictor/corrector) ------------------------------
+  for (const auto* s : kComps) {
+    const std::string cn = s;
+    c.header("xprd" + cn);
+    c.xloop(cn + "t", {cn + "o", "uo"}, cn + "o");
+    c.footer();
+    c.header("xcor" + cn);
+    c.xloop(cn, {cn + "t", cn + "o"}, cn + "t");
+    c.footer();
+    c.header("yprd" + cn);
+    c.yloop(cn + "t", {cn, "vo", "src"}, cn);
+    c.footer();
+    c.header("ycor" + cn);
+    c.yloop(cn + "o", {cn + "t", cn}, cn + "t");
+    c.footer();
+  }
+
+  // ---- pressure correction --------------------------------------------------------------
+  c.header("prhsx");
+  c.xloop("prs", {"u"}, "po");
+  c.footer();
+  c.header("prhsy");
+  c.yloop("prs", {"v"}, "prs");
+  c.footer();
+  c.header("pcorx");
+  c.xloop("p", {"po", "prs"}, "po");
+  c.footer();
+  c.header("pcory");
+  c.yloop("p", {"po", "prs"}, "p");
+  c.footer();
+
+  // ---- stream function (Jacobi half-steps via psin) ----------------------------------------
+  c.header("psix");
+  c.xloop("psin", {"psi", "omg"}, "psi");
+  c.footer();
+  c.header("psicpx");
+  os << "do j = 1, ny\n";
+  os << "  do i = 2, nx - 1\n";
+  os << "    psi(i, j) = psin(i, j)\n";
+  os << "  end do\n";
+  os << "end do\n";
+  c.footer();
+  c.header("psiy");
+  c.yloop("psin", {"psi", "omg"}, "psi");
+  c.footer();
+  c.header("psicpy");
+  os << "do j = 2, ny - 1\n";
+  os << "  do i = 1, nx\n";
+  os << "    psi(i, j) = psin(i, j)\n";
+  os << "  end do\n";
+  os << "end do\n";
+  c.footer();
+
+  // ---- vorticity ------------------------------------------------------------------------------
+  c.header("vortx");
+  c.xloop("omgn", {"omg", "u"}, "omg");
+  c.footer();
+  c.header("vorcpx");
+  os << "do j = 1, ny\n";
+  os << "  do i = 2, nx - 1\n";
+  os << "    omg(i, j) = omgn(i, j)\n";
+  os << "  end do\n";
+  os << "end do\n";
+  c.footer();
+  c.header("vorty");
+  c.yloop("omgn", {"omg", "v"}, "omg");
+  c.footer();
+  c.header("vorcpy");
+  os << "do j = 2, ny - 1\n";
+  os << "  do i = 1, nx\n";
+  os << "    omg(i, j) = omgn(i, j)\n";
+  os << "  end do\n";
+  os << "end do\n";
+  c.footer();
+
+  // ---- velocities from the stream function -----------------------------------------------------
+  c.header("veloc");
+  os << "do j = 2, ny - 1\n";
+  os << "  do i = 1, nx\n";
+  os << "    u(i, j) = u(i, j) + 0.1 * (psi(i, j + 1) - psi(i, j - 1))\n";
+  os << "  end do\n";
+  os << "end do\n";
+  os << "do j = 1, ny\n";
+  os << "  do i = 2, nx - 1\n";
+  os << "    v(i, j) = v(i, j) - 0.1 * (psi(i + 1, j) - psi(i - 1, j))\n";
+  os << "  end do\n";
+  os << "end do\n";
+  c.footer();
+
+  // ---- residual ---------------------------------------------------------------------------------
+  c.header("resid");
+  os << "resmax = 0.0\n";
+  os << "do j = 1, ny\n";
+  os << "  do i = 1, nx\n";
+  os << "    resmax = max(resmax, abs(u(i, j) - uo(i, j)))\n";
+  os << "  end do\n";
+  os << "end do\n";
+  c.footer();
+
+  auto text = os.str();
+  const auto replace_all = [&text](const std::string& key,
+                                   const std::string& value) {
+    std::size_t pos = 0;
+    while ((pos = text.find(key, pos)) != std::string::npos) {
+      text.replace(pos, key.size(), value);
+      pos += value.size();
+    }
+  };
+  replace_all("%NX%", std::to_string(p.nx));
+  replace_all("%NY%", std::to_string(p.ny));
+  replace_all("%NT%", std::to_string(p.frames));
+  return text;
+}
+
+}  // namespace autocfd::cfd

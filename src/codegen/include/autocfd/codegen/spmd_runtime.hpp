@@ -1,0 +1,51 @@
+// Executes a restructured SPMD program on the simulated cluster.
+//
+// Each rank interprets the same restructured AST with its own
+// environment: the acfd_lo*/acfd_hi* scalars describe the owned block,
+// status arrays are allocated locally with ghost layers, and the
+// interpreter's extension hook implements HaloExchange / AllReduce /
+// Pipeline / Barrier against the mp::Cluster. Virtual time advances by
+// interpreted flops x flop time x the memory-hierarchy factor of the
+// rank's working set, plus the alpha-beta cost of every message.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autocfd/codegen/restructure.hpp"
+#include "autocfd/interp/interpreter.hpp"
+#include "autocfd/mp/cluster.hpp"
+
+namespace autocfd::codegen {
+
+struct SpmdRunResult {
+  mp::Cluster::RunResult cluster;
+  double elapsed = 0.0;  // slowest rank's virtual time (seconds)
+  /// Global status arrays assembled from the owned blocks (column
+  /// major, same layout as a sequential run) — for validation.
+  std::map<std::string, std::vector<double>> gathered;
+  std::vector<std::string> rank0_output;
+  double total_flops = 0.0;
+};
+
+/// Runs the restructured `file` on spec.num_tasks() simulated ranks.
+/// The file is resolved in place (ProgramImage annotation).
+[[nodiscard]] SpmdRunResult run_spmd(fortran::SourceFile& file,
+                                     const SpmdMeta& meta,
+                                     const mp::MachineConfig& machine);
+
+struct SeqRunResult {
+  double elapsed = 0.0;
+  double flops = 0.0;
+  std::map<std::string, std::vector<double>> arrays;  // status arrays
+  std::vector<std::string> output;
+};
+
+/// Runs an *unrestructured* sequential program under the same machine
+/// model (flops x flop time x memory factor of the full working set).
+[[nodiscard]] SeqRunResult run_sequential_timed(
+    fortran::SourceFile& file, const std::vector<std::string>& status_arrays,
+    const mp::MachineConfig& machine);
+
+}  // namespace autocfd::codegen

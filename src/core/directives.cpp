@@ -1,0 +1,96 @@
+#include "autocfd/core/directives.hpp"
+
+#include <charconv>
+
+#include "autocfd/partition/comm_model.hpp"
+#include "autocfd/support/strings.hpp"
+
+namespace autocfd::core {
+
+Directives Directives::extract(std::string_view source,
+                               DiagnosticEngine& diags) {
+  Directives out;
+  std::uint32_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const auto nl = source.find('\n', pos);
+    const auto end = (nl == std::string_view::npos) ? source.size() : nl;
+    const auto line = trim(source.substr(pos, end - pos));
+    ++line_no;
+    pos = (nl == std::string_view::npos) ? source.size() + 1 : nl + 1;
+
+    if (!starts_with_ci(line, "!$acfd")) continue;
+    const auto words = split_ws(line.substr(6));
+    if (words.empty()) {
+      diags.error({line_no, 1}, "empty !$acfd directive");
+      continue;
+    }
+    const auto& kind = words[0];
+    if (kind == "grid") {
+      out.grid.extents.clear();
+      for (std::size_t i = 1; i < words.size(); ++i) {
+        long long v = 0;
+        const auto& w = words[i];
+        const auto [p, ec] = std::from_chars(w.data(), w.data() + w.size(), v);
+        if (ec != std::errc{} || p != w.data() + w.size() || v < 1) {
+          diags.error({line_no, 1}, "bad grid extent '" + w + "'");
+          v = 1;
+        }
+        out.grid.extents.push_back(v);
+      }
+      if (out.grid.extents.empty()) {
+        diags.error({line_no, 1}, "grid directive needs extents");
+      }
+    } else if (kind == "status") {
+      for (std::size_t i = 1; i < words.size(); ++i) {
+        out.status_arrays.push_back(to_lower(words[i]));
+      }
+    } else if (kind == "partition") {
+      if (words.size() != 2) {
+        diags.error({line_no, 1}, "partition directive needs one spec");
+      } else {
+        try {
+          out.partition = partition::PartitionSpec::parse(words[1]);
+        } catch (const std::exception& e) {
+          diags.error({line_no, 1}, std::string("bad partition: ") + e.what());
+        }
+      }
+    } else if (kind == "nprocs") {
+      if (words.size() != 2) {
+        diags.error({line_no, 1}, "nprocs directive needs one value");
+      } else {
+        out.nprocs = std::stoi(words[1]);
+      }
+    } else {
+      diags.error({line_no, 1}, "unknown !$acfd directive '" + kind + "'");
+    }
+  }
+  return out;
+}
+
+ir::FieldConfig Directives::field_config() const {
+  ir::FieldConfig cfg;
+  cfg.grid_rank = grid.rank();
+  cfg.status_arrays = status_arrays;
+  return cfg;
+}
+
+partition::PartitionSpec Directives::resolve_partition() const {
+  if (partition) return *partition;
+  return partition::find_best_partition(
+      grid, nprocs, partition::HaloWidths::uniform(grid.rank(), 1));
+}
+
+void Directives::validate(DiagnosticEngine& diags) const {
+  if (grid.rank() == 0) {
+    diags.error({}, "missing !$acfd grid directive");
+  }
+  if (status_arrays.empty()) {
+    diags.error({}, "missing !$acfd status directive");
+  }
+  if (partition && partition->rank() != grid.rank()) {
+    diags.error({}, "partition rank does not match grid rank");
+  }
+}
+
+}  // namespace autocfd::core

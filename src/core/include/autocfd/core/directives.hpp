@@ -1,0 +1,42 @@
+// User directives (the paper's Appendix 1): the minimum information
+// Auto-CFD needs that it cannot infer from a sequential CFD source —
+// the flow-field grid, the status arrays, and (optionally) the
+// partition. Directives are comment lines embedded in the Fortran
+// source, so the program stays compilable by any Fortran compiler:
+//
+//   !$acfd grid 99 41 13
+//   !$acfd status v w q
+//   !$acfd partition 4x1x1        (optional; best partition searched
+//                                  for `nprocs` when omitted)
+//   !$acfd nprocs 6               (used by the partition search)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "autocfd/ir/field_loop.hpp"
+#include "autocfd/partition/grid.hpp"
+#include "autocfd/support/diagnostics.hpp"
+
+namespace autocfd::core {
+
+struct Directives {
+  partition::Grid grid;
+  std::vector<std::string> status_arrays;
+  std::optional<partition::PartitionSpec> partition;
+  int nprocs = 1;
+
+  /// Scans `source` for !$acfd comment lines.
+  [[nodiscard]] static Directives extract(std::string_view source,
+                                          DiagnosticEngine& diags);
+
+  [[nodiscard]] ir::FieldConfig field_config() const;
+  /// The partition to use: the explicit one, or the section-4.1-optimal
+  /// search result for `nprocs` with a uniform unit halo.
+  [[nodiscard]] partition::PartitionSpec resolve_partition() const;
+  /// Validates completeness (grid set, status arrays named).
+  void validate(DiagnosticEngine& diags) const;
+};
+
+}  // namespace autocfd::core

@@ -1,0 +1,68 @@
+// The Auto-CFD pre-compiler pipeline (paper Figure 2):
+//
+//   sequential Fortran CFD source + directives
+//     -> parse                         (fortran)
+//     -> field-loop classification     (ir)
+//     -> grid partitioning             (partition)
+//     -> dependency analysis after
+//        partitioning -> S_LDP         (depend)
+//     -> self-dependence / mirror-
+//        image decomposition           (depend)
+//     -> upper-bound sync regions,
+//        combining                     (sync)
+//     -> SPMD restructuring            (codegen)
+//     -> parallel source (printed) + executable program + report
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "autocfd/codegen/restructure.hpp"
+#include "autocfd/codegen/spmd_runtime.hpp"
+#include "autocfd/core/directives.hpp"
+
+namespace autocfd::core {
+
+/// Summary the pre-compiler reports (Table 1's columns and more).
+struct Report {
+  int field_loops = 0;
+  int dependence_pairs = 0;     // |S_LDP|
+  int self_dependent_loops = 0;
+  int mirror_image_loops = 0;   // mixed-direction self-dependences
+  int pipelined_loops = 0;
+  int syncs_before = 0;         // synchronization points before combining
+  int syncs_after = 0;          // after combining
+  double optimization_percent = 0.0;
+};
+
+/// Everything the pre-compiler produces. Owns the restructured AST;
+/// run() executes it on the simulated cluster.
+struct ParallelProgram {
+  fortran::SourceFile file;  // restructured SPMD program
+  codegen::SpmdMeta meta;
+  Report report;
+  std::string parallel_source;  // printed SPMD source with MPI calls
+
+  [[nodiscard]] codegen::SpmdRunResult run(const mp::MachineConfig& machine) {
+    return codegen::run_spmd(file, meta, machine);
+  }
+};
+
+/// Runs the whole pre-compiler. Throws CompileError on any hard error.
+/// `strategy` selects how synchronizations are combined (the ablation
+/// benches compare Min against Pairwise and None).
+[[nodiscard]] std::unique_ptr<ParallelProgram> parallelize(
+    std::string_view source, const Directives& directives,
+    sync::CombineStrategy strategy = sync::CombineStrategy::Min);
+
+/// Directive extraction + parallelize in one call.
+[[nodiscard]] std::unique_ptr<ParallelProgram> parallelize(
+    std::string_view source);
+
+/// Analysis-only entry point: computes the report (sync counts etc.)
+/// for one partition without restructuring. Used by the Table 1 bench
+/// to sweep partitions cheaply.
+[[nodiscard]] Report analyze_only(std::string_view source,
+                                  const Directives& directives);
+
+}  // namespace autocfd::core

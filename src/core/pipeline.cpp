@@ -1,0 +1,114 @@
+#include "autocfd/core/pipeline.hpp"
+
+#include "autocfd/fortran/parser.hpp"
+#include "autocfd/fortran/printer.hpp"
+
+namespace autocfd::core {
+
+namespace {
+
+struct Analysis {
+  std::map<std::string, std::vector<ir::FieldLoop>> loops_by_unit;
+  depend::ProgramTrace trace;
+  depend::DependenceSet deps;
+  sync::InlinedProgram prog;
+  sync::SyncPlan plan;
+  partition::PartitionSpec spec;
+
+  static Analysis run(fortran::SourceFile& file, const Directives& dirs,
+                      DiagnosticEngine& diags,
+                      sync::CombineStrategy strategy =
+                          sync::CombineStrategy::Min) {
+    Analysis a;
+    a.spec = dirs.resolve_partition();
+    const auto cfg = dirs.field_config();
+    for (const auto& unit : file.units) {
+      a.loops_by_unit[unit.name] =
+          ir::analyze_field_loops(unit, cfg, diags);
+    }
+    a.trace = depend::ProgramTrace::build(file, a.loops_by_unit, diags);
+    a.deps = depend::analyze_dependences(a.trace, a.spec, diags);
+    a.prog = sync::InlinedProgram::build(file, a.trace, a.spec, diags);
+    a.plan = sync::plan_synchronization(a.prog, a.deps, a.spec, strategy);
+    for (const auto& pp : a.plan.pipelines) {
+      if (pp.plan.unsupported_diagonal) {
+        diags.error(pp.site->loop->loop->loc,
+                    "self-dependent loop on '" + pp.plan.array +
+                        "' has diagonal dependences across a cut "
+                        "dimension; mirror-image decomposition does not "
+                        "apply (choose a partition that does not cut "
+                        "those dimensions)");
+      }
+    }
+    return a;
+  }
+
+  Report report() const {
+    Report r;
+    for (const auto& [unit, loops] : loops_by_unit) {
+      r.field_loops += static_cast<int>(loops.size());
+    }
+    r.dependence_pairs = static_cast<int>(deps.pairs.size());
+    r.self_dependent_loops = static_cast<int>(deps.self_pairs().size());
+    for (const auto& pp : plan.pipelines) {
+      ++r.pipelined_loops;
+      if (pp.plan.kind == depend::SelfDepKind::Mixed) {
+        ++r.mirror_image_loops;
+      }
+    }
+    r.syncs_before = plan.syncs_before();
+    r.syncs_after = plan.syncs_after();
+    r.optimization_percent = plan.optimization_percent();
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ParallelProgram> parallelize(std::string_view source,
+                                             const Directives& directives,
+                                             sync::CombineStrategy strategy) {
+  DiagnosticEngine diags;
+  directives.validate(diags);
+  throw_if_errors(diags, "directives");
+
+  auto program = std::make_unique<ParallelProgram>();
+  program->file = fortran::parse_source(source, diags);
+  throw_if_errors(diags, "parse");
+
+  auto analysis = Analysis::run(program->file, directives, diags, strategy);
+  throw_if_errors(diags, "analysis");
+  program->report = analysis.report();
+
+  codegen::SpmdOptions opts;
+  opts.field = directives.field_config();
+  opts.grid = directives.grid;
+  opts.spec = analysis.spec;
+  program->meta =
+      codegen::restructure(program->file, opts, analysis.loops_by_unit,
+                           analysis.deps, analysis.plan, analysis.prog, diags);
+  throw_if_errors(diags, "restructure");
+
+  program->parallel_source = fortran::print_file(program->file);
+  return program;
+}
+
+std::unique_ptr<ParallelProgram> parallelize(std::string_view source) {
+  DiagnosticEngine diags;
+  auto dirs = Directives::extract(source, diags);
+  throw_if_errors(diags, "directive extraction");
+  return parallelize(source, dirs);
+}
+
+Report analyze_only(std::string_view source, const Directives& directives) {
+  DiagnosticEngine diags;
+  directives.validate(diags);
+  throw_if_errors(diags, "directives");
+  auto file = fortran::parse_source(source, diags);
+  throw_if_errors(diags, "parse");
+  auto analysis = Analysis::run(file, directives, diags);
+  throw_if_errors(diags, "analysis");
+  return analysis.report();
+}
+
+}  // namespace autocfd::core

@@ -1,0 +1,268 @@
+#include "autocfd/depend/dep_pairs.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace autocfd::depend {
+
+using fortran::Stmt;
+using fortran::StmtKind;
+
+namespace {
+
+struct TraceBuilder {
+  const fortran::SourceFile* file;
+  const std::map<std::string, std::vector<ir::FieldLoop>>* loops_by_unit;
+  DiagnosticEngine* diags;
+  std::vector<TraceSite>* out;
+  std::vector<const Stmt*> context;
+  std::set<std::string> visiting;  // cycle guard (recursion is an error
+                                   // reported by CallGraph already)
+
+  const ir::FieldLoop* field_loop_for(const fortran::ProgramUnit& unit,
+                                      const Stmt& stmt) const {
+    const auto it = loops_by_unit->find(unit.name);
+    if (it == loops_by_unit->end()) return nullptr;
+    for (const auto& fl : it->second) {
+      if (fl.loop == &stmt) return &fl;
+    }
+    return nullptr;
+  }
+
+  void walk(const fortran::ProgramUnit& unit, const fortran::StmtList& stmts) {
+    for (const auto& s : stmts) {
+      switch (s->kind) {
+        case StmtKind::Do: {
+          if (const auto* fl = field_loop_for(unit, *s)) {
+            TraceSite site;
+            site.seq = static_cast<int>(out->size());
+            site.loop = fl;
+            site.unit = &unit;
+            site.context = context;
+            out->push_back(std::move(site));
+            // Calls inside a field nest are outside the subset: the
+            // restructurer cannot split a field sweep around a call.
+            fortran::for_each_stmt(s->body, [&](const Stmt& inner, int) {
+              if (inner.kind == StmtKind::Call) {
+                diags->error(inner.loc,
+                             "subroutine call inside a field loop is not "
+                             "supported by the pre-compiler");
+              }
+            });
+            break;  // the nest is one trace site; don't descend
+          }
+          context.push_back(s.get());
+          walk(unit, s->body);
+          context.pop_back();
+          break;
+        }
+        case StmtKind::Call: {
+          const auto* callee = file->find_unit(s->callee);
+          if (!callee) break;  // reported by CallGraph
+          if (visiting.contains(callee->name)) break;  // recursion guard
+          visiting.insert(callee->name);
+          context.push_back(s.get());
+          walk(*callee, callee->body);
+          context.pop_back();
+          visiting.erase(callee->name);
+          break;
+        }
+        case StmtKind::If:
+          walk(unit, s->body);
+          walk(unit, s->else_body);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ProgramTrace ProgramTrace::build(
+    const fortran::SourceFile& file,
+    const std::map<std::string, std::vector<ir::FieldLoop>>& loops_by_unit,
+    DiagnosticEngine& diags) {
+  ProgramTrace trace;
+  const auto* main = file.main_program();
+  if (!main) {
+    diags.error({}, "source file has no main program");
+    return trace;
+  }
+  TraceBuilder b{&file, &loops_by_unit, &diags, &trace.sites_, {}, {}};
+  b.visiting.insert(main->name);
+  b.walk(*main, main->body);
+  return trace;
+}
+
+const Stmt* ProgramTrace::common_loop(const TraceSite& a, const TraceSite& b) {
+  const Stmt* innermost = nullptr;
+  const auto n = std::min(a.context.size(), b.context.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.context[i] != b.context[i]) break;
+    if (a.context[i]->kind == StmtKind::Do) innermost = a.context[i];
+  }
+  return innermost;
+}
+
+std::vector<const LoopDependence*> DependenceSet::sync_pairs() const {
+  std::vector<const LoopDependence*> out;
+  for (const auto& p : pairs) {
+    if (!p.self && p.needs_comm()) out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<const LoopDependence*> DependenceSet::self_pairs() const {
+  std::vector<const LoopDependence*> out;
+  for (const auto& p : pairs) {
+    if (p.self && p.needs_comm()) out.push_back(&p);
+  }
+  return out;
+}
+
+partition::HaloWidths halo_for_reads(const ir::FieldLoop& loop,
+                                     const ir::ArrayInfo& info,
+                                     const partition::PartitionSpec& spec) {
+  partition::HaloWidths halo =
+      partition::HaloWidths::uniform(spec.rank(), 0);
+  for (const auto& read : info.reads) {
+    const int n_status =
+        std::min(static_cast<int>(read.subs.size()), spec.rank());
+    for (int d = 0; d < n_status; ++d) {
+      if (spec.cuts[static_cast<std::size_t>(d)] <= 1) continue;  // uncut
+      const auto& sub = read.subs[static_cast<std::size_t>(d)];
+      const auto du = static_cast<std::size_t>(d);
+      switch (sub.kind) {
+        case ir::SubscriptPattern::Kind::LoopIndex: {
+          // The subscript's variable must scan this same dimension;
+          // var_dims guarantees it by construction.
+          if (sub.offset < 0) {
+            halo.lo[du] =
+                std::max(halo.lo[du], static_cast<int>(-sub.offset));
+          } else if (sub.offset > 0) {
+            halo.hi[du] = std::max(halo.hi[du], static_cast<int>(sub.offset));
+          }
+          break;
+        }
+        case ir::SubscriptPattern::Kind::Invariant:
+          // A fixed index read by every task (boundary data). Within
+          // the supported programs such reads stay inside the owning
+          // block; no neighbor halo is implied.
+          break;
+        case ir::SubscriptPattern::Kind::Complex:
+          // Conservative: one layer each way.
+          halo.lo[du] = std::max(halo.lo[du], 1);
+          halo.hi[du] = std::max(halo.hi[du], 1);
+          break;
+      }
+    }
+  }
+  (void)loop;
+  return halo;
+}
+
+DependenceSet analyze_dependences(const ProgramTrace& trace,
+                                  const partition::PartitionSpec& spec,
+                                  DiagnosticEngine& diags) {
+  DependenceSet set;
+  const auto& sites = trace.sites();
+
+  // Gather, per array, the writer and reader site indices.
+  std::map<std::string, std::vector<int>> writers;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (const auto& [name, info] : sites[i].loop->arrays) {
+      if (info.assigned()) writers[name].push_back(static_cast<int>(i));
+    }
+  }
+
+  bool warned_complex = false;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const auto& reader = sites[i];
+    for (const auto& [name, info] : reader.loop->arrays) {
+      if (!info.referenced()) continue;
+      const auto halo = halo_for_reads(*reader.loop, info, spec);
+      if (!warned_complex) {
+        for (const auto& read : info.reads) {
+          for (const auto& sub : read.subs) {
+            if (sub.kind == ir::SubscriptPattern::Kind::Complex) {
+              diags.warning(read.stmt->loc,
+                            "complex subscript: assuming dependency "
+                            "distance 1 in each cut dimension");
+              warned_complex = true;
+            }
+          }
+        }
+      }
+
+      LoopDependence base;
+      base.reader = &reader;
+      base.array = name;
+      base.halo = halo;
+
+      if (info.assigned()) {
+        // Same loop writes and reads the array: self-dependent
+        // (resolved by wavefront / mirror-image decomposition). Other
+        // writers may still feed this reader's first execution, so do
+        // not stop here.
+        LoopDependence self = base;
+        self.writer = &reader;
+        self.self = true;
+        set.pairs.push_back(std::move(self));
+      }
+
+      const auto wit = writers.find(name);
+      if (wit == writers.end()) continue;  // array never written: no dep
+      const int self_idx = static_cast<int>(i);
+
+      // (1) Nearest preceding writer in the frame trace: feeds the
+      // reader's current-iteration (and first) execution.
+      int prev = -1;
+      for (const int w : wit->second) {
+        if (w < self_idx) prev = w;
+      }
+      if (prev >= 0) {
+        LoopDependence dep = base;
+        dep.writer = &sites[static_cast<std::size_t>(prev)];
+        set.pairs.push_back(std::move(dep));
+      }
+
+      // (2) Wrap-around: the last writer that follows the reader inside
+      // a common loop feeds the *next* iteration's read — unless a
+      // preceding writer inside that same loop kills the back-edge
+      // value first.
+      int wrapw = -1;
+      const fortran::Stmt* wrap_loop = nullptr;
+      for (const int w : wit->second) {
+        if (w <= self_idx) continue;
+        if (w == self_idx) continue;
+        const auto* loop =
+            ProgramTrace::common_loop(sites[static_cast<std::size_t>(w)],
+                                      reader);
+        if (loop) {
+          wrapw = w;
+          wrap_loop = loop;
+        }
+      }
+      if (wrapw >= 0) {
+        bool killed = false;
+        if (prev >= 0) {
+          const auto& p = sites[static_cast<std::size_t>(prev)];
+          killed = std::find(p.context.begin(), p.context.end(),
+                             wrap_loop) != p.context.end();
+        }
+        if (!killed) {
+          LoopDependence dep = base;
+          dep.writer = &sites[static_cast<std::size_t>(wrapw)];
+          dep.wraps = true;
+          dep.wrap_loop = wrap_loop;
+          set.pairs.push_back(std::move(dep));
+        }
+      }
+    }
+  }
+  return set;
+}
+
+}  // namespace autocfd::depend

@@ -1,0 +1,95 @@
+// Dependency analysis *after partitioning* (paper section 4.2).
+//
+// Once the grid is partitioned, only array accesses whose stencil
+// offsets cross a cut dimension generate communication. This module
+// linearizes one frame of the program (inlining subroutine calls —
+// recursion is outside the subset), pairs every reading field loop with
+// its nearest preceding writer per status array, and computes the halo
+// each pair needs under a concrete partition. The result is the
+// paper's S_LDP set: field-loop dependence pairs with dependent arrays
+// and dependency distances.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autocfd/fortran/ast.hpp"
+#include "autocfd/ir/call_graph.hpp"
+#include "autocfd/ir/field_loop.hpp"
+#include "autocfd/partition/comm_model.hpp"
+#include "autocfd/support/diagnostics.hpp"
+
+namespace autocfd::depend {
+
+/// One occurrence of a field loop in the inlined one-frame trace.
+struct TraceSite {
+  int seq = 0;                           // position in execution order
+  const ir::FieldLoop* loop = nullptr;   // the analyzed nest
+  const fortran::ProgramUnit* unit = nullptr;
+  /// Enclosing context from main, outermost first: Do statements and
+  /// Call statements interleaved as encountered. Two sites wrap around
+  /// a loop iff that Do is in their common context prefix.
+  std::vector<const fortran::Stmt*> context;
+};
+
+/// The inlined one-frame execution trace of all field loops.
+class ProgramTrace {
+ public:
+  static ProgramTrace build(
+      const fortran::SourceFile& file,
+      const std::map<std::string, std::vector<ir::FieldLoop>>& loops_by_unit,
+      DiagnosticEngine& diags);
+
+  [[nodiscard]] const std::vector<TraceSite>& sites() const { return sites_; }
+
+  /// Innermost Do statement enclosing both sites (by common context
+  /// prefix), or null if none. Used for wrap-around dependences.
+  [[nodiscard]] static const fortran::Stmt* common_loop(const TraceSite& a,
+                                                        const TraceSite& b);
+
+ private:
+  std::vector<TraceSite> sites_;
+};
+
+/// One element of S_LDP: a dependent field-loop pair with the array and
+/// the halo (dependency distances per dimension) the reader needs.
+struct LoopDependence {
+  const TraceSite* writer = nullptr;
+  const TraceSite* reader = nullptr;
+  std::string array;
+  partition::HaloWidths halo;  // restricted to cut dimensions
+  /// Reader precedes writer in the frame; the dependence crosses the
+  /// back edge of `wrap_loop` (data flows into the *next* iteration).
+  bool wraps = false;
+  const fortran::Stmt* wrap_loop = nullptr;
+  /// Writer and reader are the same loop (self-dependent field loop,
+  /// Figure 3); resolved by wavefront / mirror-image, not by a sync.
+  bool self = false;
+
+  [[nodiscard]] bool needs_comm() const { return halo.any(); }
+};
+
+struct DependenceSet {
+  std::vector<LoopDependence> pairs;
+
+  /// Pairs that actually require a synchronization point under the
+  /// analyzed partition (non-self, halo-carrying). This count is the
+  /// paper's "number of synchronizations before optimization".
+  [[nodiscard]] std::vector<const LoopDependence*> sync_pairs() const;
+  [[nodiscard]] std::vector<const LoopDependence*> self_pairs() const;
+};
+
+/// Halo a set of reads needs under `spec`: offsets along cut dimensions
+/// only. `Complex` subscripts conservatively request one layer each way
+/// (with a warning recorded once by the caller).
+[[nodiscard]] partition::HaloWidths halo_for_reads(
+    const ir::FieldLoop& loop, const ir::ArrayInfo& info,
+    const partition::PartitionSpec& spec);
+
+/// Runs the full S_LDP construction for one partition.
+[[nodiscard]] DependenceSet analyze_dependences(
+    const ProgramTrace& trace, const partition::PartitionSpec& spec,
+    DiagnosticEngine& diags);
+
+}  // namespace autocfd::depend

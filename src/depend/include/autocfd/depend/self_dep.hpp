@@ -1,0 +1,66 @@
+// Self-dependent field loops and mirror-image decomposition
+// (paper section 4.2, Figures 3 and 4).
+//
+// A C-type loop whose reads reach both along and against its scan
+// direction (Figure 3(b)) carries dependences in both lexicographic
+// directions and defeats classical wavefront/skewing. The paper's
+// mirror-image decomposition splits the dependence graph by access
+// direction:
+//   * reads of already-updated points (flow, against the scan offset)
+//     become a pipelined sweep across blocks — each block waits for the
+//     upstream neighbor's updated boundary layer;
+//   * reads of not-yet-updated points (anti, along the scan offset) use
+//     the *old* values, satisfied by exchanging the boundary layers
+//     before the sweep starts.
+// Each sub-problem is parallelizable by classical pipelining; together
+// they reproduce the sequential semantics exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autocfd/ir/field_loop.hpp"
+#include "autocfd/partition/comm_model.hpp"
+
+namespace autocfd::depend {
+
+enum class SelfDepKind {
+  None,      // no same-array read/write overlap in cut dimensions
+  AntiOnly,  // only old-value reads: pre-sweep halo exchange suffices
+  FlowOnly,  // only updated-value reads: classic wavefront / pipeline
+  Mixed,     // both: needs mirror-image decomposition
+};
+
+[[nodiscard]] std::string_view self_dep_kind_name(SelfDepKind k);
+
+/// The execution plan for one self-dependent loop under a partition.
+struct MirrorImagePlan {
+  const ir::FieldLoop* loop = nullptr;
+  std::string array;
+  SelfDepKind kind = SelfDepKind::None;
+
+  /// Cut dimensions whose flow dependences force pipelining, with the
+  /// direction of the sweep (dim, dir) — dir +1 means block k waits for
+  /// block k-1.
+  std::vector<std::pair<int, int>> pipeline_dims;
+  /// Old-value halo to exchange before the sweep (anti reads).
+  partition::HaloWidths pre_halo;
+  /// Updated-value halo received through the pipeline (flow reads).
+  partition::HaloWidths flow_halo;
+
+  /// A self-read carries nonzero offsets in two or more grid dimensions
+  /// with at least one of them cut ("diagonal" self-dependence). The
+  /// paper's mirror-image decomposition covers axis-aligned self-reads
+  /// (its Figure 3 stencils); diagonal ones would need loop skewing and
+  /// are rejected by the pre-compiler.
+  bool unsupported_diagonal = false;
+};
+
+/// Analyzes one (loop, array) self-dependence under `spec`. Offsets in
+/// uncut dimensions stay local to a block and are ignored — this is the
+/// "analysis after partitioning" discipline.
+[[nodiscard]] MirrorImagePlan analyze_self_dependence(
+    const ir::FieldLoop& loop, const std::string& array,
+    const partition::PartitionSpec& spec);
+
+}  // namespace autocfd::depend

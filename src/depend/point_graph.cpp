@@ -1,0 +1,94 @@
+#include "autocfd/depend/point_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace autocfd::depend {
+
+PointDepGraph PointDepGraph::build(
+    int ni, int nj, const std::vector<std::pair<int, int>>& offsets) {
+  PointDepGraph g(ni, nj);
+  for (int i = 0; i < ni; ++i) {
+    for (int j = 0; j < nj; ++j) {
+      for (const auto& [oi, oj] : offsets) {
+        const int si = i + oi;
+        const int sj = j + oj;
+        if (si < 0 || si >= ni || sj < 0 || sj >= nj) continue;
+        PointEdge e;
+        e.src = g.node(si, sj);
+        e.dst = g.node(i, j);
+        // Lexicographic comparison of (si,sj) vs (i,j).
+        const bool src_first = si < i || (si == i && sj < j);
+        e.dir = src_first ? EdgeDir::Forward : EdgeDir::Backward;
+        g.edges_.push_back(e);
+      }
+    }
+  }
+  return g;
+}
+
+bool PointDepGraph::has_cycle() const {
+  // Kahn's algorithm; leftovers indicate a cycle.
+  std::vector<int> indeg(static_cast<std::size_t>(num_nodes()), 0);
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(num_nodes()));
+  for (const auto& e : edges_) {
+    adj[static_cast<std::size_t>(e.src)].push_back(e.dst);
+    ++indeg[static_cast<std::size_t>(e.dst)];
+  }
+  std::queue<int> q;
+  for (int n = 0; n < num_nodes(); ++n) {
+    if (indeg[static_cast<std::size_t>(n)] == 0) q.push(n);
+  }
+  int seen = 0;
+  while (!q.empty()) {
+    const int n = q.front();
+    q.pop();
+    ++seen;
+    for (const int m : adj[static_cast<std::size_t>(n)]) {
+      if (--indeg[static_cast<std::size_t>(m)] == 0) q.push(m);
+    }
+  }
+  return seen != num_nodes();
+}
+
+PointDepGraph::Decomposition PointDepGraph::mirror_decompose() const {
+  Decomposition d{PointDepGraph(ni_, nj_), PointDepGraph(ni_, nj_)};
+  for (const auto& e : edges_) {
+    (e.dir == EdgeDir::Forward ? d.forward : d.backward).edges_.push_back(e);
+  }
+  return d;
+}
+
+std::vector<int> PointDepGraph::wavefront_levels() const {
+  if (has_cycle()) return {};
+  std::vector<int> level(static_cast<std::size_t>(num_nodes()), 0);
+  std::vector<int> indeg(static_cast<std::size_t>(num_nodes()), 0);
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(num_nodes()));
+  for (const auto& e : edges_) {
+    adj[static_cast<std::size_t>(e.src)].push_back(e.dst);
+    ++indeg[static_cast<std::size_t>(e.dst)];
+  }
+  std::queue<int> q;
+  for (int n = 0; n < num_nodes(); ++n) {
+    if (indeg[static_cast<std::size_t>(n)] == 0) q.push(n);
+  }
+  while (!q.empty()) {
+    const int n = q.front();
+    q.pop();
+    for (const int m : adj[static_cast<std::size_t>(n)]) {
+      level[static_cast<std::size_t>(m)] =
+          std::max(level[static_cast<std::size_t>(m)],
+                   level[static_cast<std::size_t>(n)] + 1);
+      if (--indeg[static_cast<std::size_t>(m)] == 0) q.push(m);
+    }
+  }
+  return level;
+}
+
+int PointDepGraph::wavefront_depth() const {
+  const auto levels = wavefront_levels();
+  if (levels.empty()) return 0;
+  return *std::max_element(levels.begin(), levels.end()) + 1;
+}
+
+}  // namespace autocfd::depend

@@ -1,0 +1,97 @@
+#include "autocfd/depend/self_dep.hpp"
+
+#include <algorithm>
+
+namespace autocfd::depend {
+
+std::string_view self_dep_kind_name(SelfDepKind k) {
+  switch (k) {
+    case SelfDepKind::None: return "none";
+    case SelfDepKind::AntiOnly: return "anti-only";
+    case SelfDepKind::FlowOnly: return "flow-only";
+    case SelfDepKind::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+MirrorImagePlan analyze_self_dependence(const ir::FieldLoop& loop,
+                                        const std::string& array,
+                                        const partition::PartitionSpec& spec) {
+  MirrorImagePlan plan;
+  plan.loop = &loop;
+  plan.array = array;
+  plan.pre_halo = partition::HaloWidths::uniform(spec.rank(), 0);
+  plan.flow_halo = partition::HaloWidths::uniform(spec.rank(), 0);
+
+  const auto it = loop.arrays.find(array);
+  if (it == loop.arrays.end() || !it->second.assigned() ||
+      !it->second.referenced()) {
+    return plan;  // not self-dependent at all
+  }
+
+  bool any_flow = false, any_anti = false;
+  for (const auto& read : it->second.reads) {
+    const int n_status =
+        std::min(static_cast<int>(read.subs.size()), spec.rank());
+    // Diagonal self-reads (offsets in two or more grid dimensions, any
+    // of them cut) are outside the mirror-image method.
+    int offset_dims = 0;
+    bool any_cut_offset = false;
+    for (int d = 0; d < n_status; ++d) {
+      const auto& sub = read.subs[static_cast<std::size_t>(d)];
+      if (sub.kind == ir::SubscriptPattern::Kind::LoopIndex &&
+          sub.offset != 0) {
+        ++offset_dims;
+        if (spec.cuts[static_cast<std::size_t>(d)] > 1) {
+          any_cut_offset = true;
+        }
+      }
+    }
+    if (offset_dims >= 2 && any_cut_offset) {
+      plan.unsupported_diagonal = true;
+    }
+    for (int d = 0; d < n_status; ++d) {
+      const auto du = static_cast<std::size_t>(d);
+      if (spec.cuts[du] <= 1) continue;  // uncut: block-local
+      const auto& sub = read.subs[du];
+      if (sub.kind != ir::SubscriptPattern::Kind::LoopIndex ||
+          sub.offset == 0) {
+        continue;
+      }
+      const int scan_dir = loop.dir_of_dim(d) == 0 ? +1 : loop.dir_of_dim(d);
+      const int off_sign = sub.offset < 0 ? -1 : +1;
+      const int dist = static_cast<int>(std::abs(sub.offset));
+      if (off_sign == -scan_dir) {
+        // Reads a point the scan already updated: flow dependence.
+        any_flow = true;
+        auto& side = off_sign < 0 ? plan.flow_halo.lo : plan.flow_halo.hi;
+        side[du] = std::max(side[du], dist);
+        const auto exists = std::find_if(
+            plan.pipeline_dims.begin(), plan.pipeline_dims.end(),
+            [d](const auto& p) { return p.first == d; });
+        if (exists == plan.pipeline_dims.end()) {
+          plan.pipeline_dims.emplace_back(d, scan_dir);
+        }
+      } else {
+        // Reads a point the scan has not reached yet: old value (anti).
+        any_anti = true;
+        auto& side = off_sign < 0 ? plan.pre_halo.lo : plan.pre_halo.hi;
+        side[du] = std::max(side[du], dist);
+      }
+    }
+  }
+
+  if (any_flow && any_anti) {
+    plan.kind = SelfDepKind::Mixed;
+  } else if (any_flow) {
+    plan.kind = SelfDepKind::FlowOnly;
+  } else if (any_anti) {
+    plan.kind = SelfDepKind::AntiOnly;
+  } else {
+    plan.kind = SelfDepKind::None;
+  }
+  std::sort(plan.pipeline_dims.begin(), plan.pipeline_dims.end());
+  return plan;
+}
+
+}  // namespace autocfd::depend

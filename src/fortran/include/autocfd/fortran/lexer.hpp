@@ -1,0 +1,39 @@
+// Lexer for the Fortran-77 subset.
+//
+// Accepted layout is "relaxed fixed form": one statement per line,
+// comment lines start with 'c', 'C', '*' or '!', inline comments with
+// '!', continuation by a trailing '&'. A line-leading integer is lexed
+// as a Label token (statement label, e.g. the target of `do 10 i=...`
+// or `goto 20`).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "autocfd/fortran/token.hpp"
+#include "autocfd/support/diagnostics.hpp"
+
+namespace autocfd::fortran {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticEngine& diags);
+
+  /// Tokenize the whole source. The stream always ends with EndOfFile;
+  /// every logical statement is terminated by EndOfStatement.
+  [[nodiscard]] std::vector<Token> tokenize();
+
+ private:
+  void lex_line(std::string_view line, std::uint32_t line_no,
+                bool is_continuation, std::vector<Token>& out);
+  void lex_number(std::string_view line, std::size_t& i, std::uint32_t line_no,
+                  bool at_statement_start, std::vector<Token>& out);
+  void lex_dot_operator(std::string_view line, std::size_t& i,
+                        std::uint32_t line_no, std::vector<Token>& out);
+
+  std::string source_;
+  DiagnosticEngine* diags_;
+};
+
+}  // namespace autocfd::fortran

@@ -1,0 +1,30 @@
+// Pretty-printer: AST -> Fortran source text.
+//
+// Used for round-trip tests and, crucially, to emit the restructured
+// SPMD program the pre-compiler produces (parallel extension statements
+// print as MPI-style calls, matching the paper's PVM/MPI output).
+#pragma once
+
+#include <string>
+
+#include "autocfd/fortran/ast.hpp"
+
+namespace autocfd::fortran {
+
+struct PrintOptions {
+  int indent_width = 2;
+  /// When true, extension statements (HaloExchange, AllReduce, ...) are
+  /// printed as mpi_* call statements; when false, as !$acfd comments.
+  bool extensions_as_mpi_calls = true;
+};
+
+[[nodiscard]] std::string print_expr(const Expr& expr);
+[[nodiscard]] std::string print_stmt(const Stmt& stmt,
+                                     const PrintOptions& opts = {},
+                                     int indent = 0);
+[[nodiscard]] std::string print_unit(const ProgramUnit& unit,
+                                     const PrintOptions& opts = {});
+[[nodiscard]] std::string print_file(const SourceFile& file,
+                                     const PrintOptions& opts = {});
+
+}  // namespace autocfd::fortran

@@ -1,0 +1,69 @@
+// Token definitions for the Fortran-77 subset accepted by Auto-CFD.
+//
+// The lexer is deliberately keyword-free: Fortran keywords are not
+// reserved words (a variable may be called "if"), so the lexer emits
+// Identifier tokens and the parser decides from context. Dot-operators
+// (.lt., .and., ...) are lexed into dedicated kinds because their
+// spelling is unambiguous.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "autocfd/support/diagnostics.hpp"
+
+namespace autocfd::fortran {
+
+enum class TokenKind {
+  EndOfFile,
+  EndOfStatement,  // newline or ';' that terminates a statement
+  Identifier,
+  IntLiteral,
+  RealLiteral,
+  StringLiteral,
+  Label,  // integer in the label field at start of a statement
+
+  // punctuation
+  LParen,
+  RParen,
+  Comma,
+  Colon,
+  Equals,
+  Plus,
+  Minus,
+  Star,
+  StarStar,
+  Slash,
+
+  // dot operators
+  DotLt,
+  DotLe,
+  DotGt,
+  DotGe,
+  DotEq,
+  DotNe,
+  DotAnd,
+  DotOr,
+  DotNot,
+  DotTrue,
+  DotFalse,
+};
+
+[[nodiscard]] std::string_view token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  SourceLoc loc;
+  std::string text;       // identifier (lowercased) or literal spelling
+  long long int_value = 0;
+  double real_value = 0.0;
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  /// True if this is an Identifier spelling `word` (already lowercased).
+  [[nodiscard]] bool is_word(std::string_view word) const {
+    return kind == TokenKind::Identifier && text == word;
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace autocfd::fortran

@@ -1,0 +1,198 @@
+#include "autocfd/fortran/symbols.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autocfd::fortran {
+
+ConstEvaluator::ConstEvaluator(const ProgramUnit& unit) {
+  for (const auto& p : unit.params) {
+    params_[p.name] = p.value.get();
+  }
+}
+
+std::optional<long long> ConstEvaluator::eval_int(const Expr& e) const {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return e.int_value;
+    case ExprKind::VarRef: {
+      const auto it = params_.find(e.name);
+      if (it == params_.end()) return std::nullopt;
+      return eval_int(*it->second);
+    }
+    case ExprKind::Unary: {
+      const auto v = eval_int(*e.args[0]);
+      if (!v) return std::nullopt;
+      switch (e.un_op) {
+        case UnOp::Neg: return -*v;
+        case UnOp::Plus: return *v;
+        case UnOp::Not: return std::nullopt;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Binary: {
+      const auto a = eval_int(*e.args[0]);
+      const auto b = eval_int(*e.args[1]);
+      if (!a || !b) return std::nullopt;
+      switch (e.bin_op) {
+        case BinOp::Add: return *a + *b;
+        case BinOp::Sub: return *a - *b;
+        case BinOp::Mul: return *a * *b;
+        case BinOp::Div: return *b == 0 ? std::nullopt : std::optional(*a / *b);
+        case BinOp::Pow: {
+          long long r = 1;
+          for (long long i = 0; i < *b; ++i) r *= *a;
+          return r;
+        }
+        default: return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<double> ConstEvaluator::eval_real(const Expr& e) const {
+  switch (e.kind) {
+    case ExprKind::RealLit:
+      return e.real_value;
+    case ExprKind::IntLit:
+      return static_cast<double>(e.int_value);
+    case ExprKind::VarRef: {
+      const auto it = params_.find(e.name);
+      if (it == params_.end()) return std::nullopt;
+      return eval_real(*it->second);
+    }
+    case ExprKind::Unary: {
+      const auto v = eval_real(*e.args[0]);
+      if (!v) return std::nullopt;
+      return e.un_op == UnOp::Neg ? -*v : *v;
+    }
+    case ExprKind::Binary: {
+      const auto a = eval_real(*e.args[0]);
+      const auto b = eval_real(*e.args[1]);
+      if (!a || !b) return std::nullopt;
+      switch (e.bin_op) {
+        case BinOp::Add: return *a + *b;
+        case BinOp::Sub: return *a - *b;
+        case BinOp::Mul: return *a * *b;
+        case BinOp::Div: return *a / *b;
+        case BinOp::Pow: return std::pow(*a, *b);
+        default: return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+long long ArrayShape::element_count() const {
+  long long n = 1;
+  for (const auto& d : dims) n *= d.extent();
+  return n;
+}
+
+SymbolTable SymbolTable::build(const ProgramUnit& unit,
+                               DiagnosticEngine& diags) {
+  SymbolTable table;
+  ConstEvaluator eval(unit);
+  for (const auto& d : unit.decls) {
+    table.decls_[d.name] = &d;
+    if (!d.is_array()) continue;
+    ArrayShape shape;
+    bool ok = true;
+    for (const auto& dim : d.dims) {
+      ArrayShape::Dim out;
+      if (dim.lower) {
+        const auto lo = eval.eval_int(*dim.lower);
+        if (!lo) {
+          diags.error(d.loc, "array '" + d.name +
+                                 "': lower bound is not a compile-time "
+                                 "constant");
+          ok = false;
+          break;
+        }
+        out.lower = *lo;
+      }
+      const auto hi = eval.eval_int(*dim.upper);
+      if (!hi) {
+        diags.error(d.loc, "array '" + d.name +
+                               "': upper bound is not a compile-time "
+                               "constant (adjustable arrays are outside "
+                               "the subset)");
+        ok = false;
+        break;
+      }
+      out.upper = *hi;
+      if (out.upper < out.lower) {
+        diags.error(d.loc, "array '" + d.name + "': empty dimension");
+        ok = false;
+        break;
+      }
+      shape.dims.push_back(out);
+    }
+    if (ok) table.shapes_[d.name] = std::move(shape);
+  }
+  return table;
+}
+
+const ArrayShape* SymbolTable::shape(std::string_view array) const {
+  const auto it = shapes_.find(std::string(array));
+  return it == shapes_.end() ? nullptr : &it->second;
+}
+
+const VarDecl* SymbolTable::decl(std::string_view name) const {
+  const auto it = decls_.find(std::string(name));
+  return it == decls_.end() ? nullptr : it->second;
+}
+
+GlobalSymbols GlobalSymbols::build(const SourceFile& file,
+                                   DiagnosticEngine& diags) {
+  GlobalSymbols g;
+  for (const auto& unit : file.units) {
+    g.unit_tables_.emplace(unit.name, SymbolTable::build(unit, diags));
+  }
+  for (const auto& unit : file.units) {
+    const auto& table = g.unit_tables_.at(unit.name);
+    for (const auto& c : unit.commons) {
+      for (const auto& var : c.vars) {
+        if (const auto* shape = table.shape(var)) {
+          const auto it = g.global_arrays_.find(var);
+          if (it == g.global_arrays_.end()) {
+            g.global_arrays_[var] = *shape;
+          } else if (!(it->second == *shape)) {
+            diags.error(unit.loc,
+                        "common array '" + var +
+                            "' declared with inconsistent shapes across "
+                            "units (the subset matches common storage by "
+                            "name)");
+          }
+        } else {
+          if (std::find(g.global_scalars_.begin(), g.global_scalars_.end(),
+                        var) == g.global_scalars_.end()) {
+            g.global_scalars_.push_back(var);
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+bool GlobalSymbols::is_global(std::string_view name) const {
+  if (global_arrays_.contains(std::string(name))) return true;
+  return std::find(global_scalars_.begin(), global_scalars_.end(), name) !=
+         global_scalars_.end();
+}
+
+const ArrayShape* GlobalSymbols::global_shape(std::string_view name) const {
+  const auto it = global_arrays_.find(std::string(name));
+  return it == global_arrays_.end() ? nullptr : &it->second;
+}
+
+const SymbolTable* GlobalSymbols::unit_table(std::string_view unit) const {
+  const auto it = unit_tables_.find(std::string(unit));
+  return it == unit_tables_.end() ? nullptr : &it->second;
+}
+
+}  // namespace autocfd::fortran

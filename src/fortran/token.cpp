@@ -1,0 +1,48 @@
+#include "autocfd/fortran/token.hpp"
+
+#include <sstream>
+
+namespace autocfd::fortran {
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::EndOfFile: return "end-of-file";
+    case TokenKind::EndOfStatement: return "end-of-statement";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::RealLiteral: return "real literal";
+    case TokenKind::StringLiteral: return "string literal";
+    case TokenKind::Label: return "label";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Equals: return "'='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::StarStar: return "'**'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::DotLt: return "'.lt.'";
+    case TokenKind::DotLe: return "'.le.'";
+    case TokenKind::DotGt: return "'.gt.'";
+    case TokenKind::DotGe: return "'.ge.'";
+    case TokenKind::DotEq: return "'.eq.'";
+    case TokenKind::DotNe: return "'.ne.'";
+    case TokenKind::DotAnd: return "'.and.'";
+    case TokenKind::DotOr: return "'.or.'";
+    case TokenKind::DotNot: return "'.not.'";
+    case TokenKind::DotTrue: return "'.true.'";
+    case TokenKind::DotFalse: return "'.false.'";
+  }
+  return "unknown";
+}
+
+std::string Token::str() const {
+  std::ostringstream os;
+  os << token_kind_name(kind);
+  if (!text.empty()) os << " '" << text << "'";
+  return os.str();
+}
+
+}  // namespace autocfd::fortran

@@ -1,0 +1,116 @@
+#include "autocfd/interp/env.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autocfd::interp {
+
+namespace {
+
+/// Minimal evaluator for declaration bounds: literals, scalar slots and
+/// integer arithmetic (bounds never index arrays or call math).
+long long eval_bound(const fortran::Expr& e, const Env& env) {
+  using fortran::ExprKind;
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return e.int_value;
+    case ExprKind::RealLit:
+      return static_cast<long long>(e.real_value);
+    case ExprKind::VarRef:
+      if (e.slot < 0) {
+        throw autocfd::CompileError("unresolved bound variable '" + e.name +
+                                    "'");
+      }
+      return static_cast<long long>(
+          std::llround(env.scalar(e.slot)));
+    case ExprKind::Unary:
+      return e.un_op == fortran::UnOp::Neg ? -eval_bound(*e.args[0], env)
+                                           : eval_bound(*e.args[0], env);
+    case ExprKind::Binary: {
+      const long long a = eval_bound(*e.args[0], env);
+      const long long b = eval_bound(*e.args[1], env);
+      switch (e.bin_op) {
+        case fortran::BinOp::Add: return a + b;
+        case fortran::BinOp::Sub: return a - b;
+        case fortran::BinOp::Mul: return a * b;
+        case fortran::BinOp::Div: return b == 0 ? 0 : a / b;
+        default:
+          throw autocfd::CompileError(
+              "unsupported operator in array bound");
+      }
+    }
+    default:
+      throw autocfd::CompileError("unsupported expression in array bound");
+  }
+}
+
+}  // namespace
+
+long long ArrayValue::index(std::span<const long long> subs) const {
+  if (static_cast<int>(subs.size()) != rank()) {
+    throw autocfd::CompileError("subscript rank mismatch");
+  }
+  long long idx = 0;
+  long long stride = 1;
+  for (std::size_t d = 0; d < subs.size(); ++d) {
+    const long long rel = subs[d] - lower[d];
+    if (rel < 0 || rel >= extent[d]) {
+      throw autocfd::CompileError(
+          "array subscript out of bounds: dim " + std::to_string(d + 1) +
+          " value " + std::to_string(subs[d]) + " not in [" +
+          std::to_string(lower[d]) + ", " + std::to_string(upper(static_cast<int>(d))) +
+          "]");
+    }
+    idx += rel * stride;
+    stride *= extent[d];
+  }
+  return idx;
+}
+
+Env::Env(const ProgramImage& image) {
+  scalars.assign(static_cast<std::size_t>(image.num_scalar_slots()), 0.0);
+  arrays.resize(image.array_slots().size());
+  for (const auto& [slot, value] : image.presets()) {
+    scalars[static_cast<std::size_t>(slot)] = value;
+  }
+}
+
+void Env::allocate_arrays(const ProgramImage& image,
+                          DiagnosticEngine& diags) {
+  const auto& infos = image.array_slots();
+  for (std::size_t s = 0; s < infos.size(); ++s) {
+    const auto* decl = infos[s].decl;
+    if (!decl) {
+      diags.error({}, "array '" + infos[s].name + "' has no declaration");
+      continue;
+    }
+    ArrayValue av;
+    long long total = 1;
+    for (const auto& dim : decl->dims) {
+      const long long lo = dim.lower ? eval_bound(*dim.lower, *this) : 1;
+      const long long hi = eval_bound(*dim.upper, *this);
+      if (hi < lo) {
+        diags.error(decl->loc, "array '" + infos[s].name +
+                                   "' has an empty dimension at run time");
+        total = 0;
+        break;
+      }
+      av.lower.push_back(lo);
+      av.extent.push_back(hi - lo + 1);
+      total *= hi - lo + 1;
+    }
+    av.data.assign(static_cast<std::size_t>(std::max<long long>(total, 0)),
+                   0.0);
+    arrays[s] = std::move(av);
+  }
+}
+
+long long Env::array_bytes() const {
+  long long total = 0;
+  for (const auto& a : arrays) {
+    total += static_cast<long long>(a.data.size() * sizeof(double));
+  }
+  return total;
+}
+
+}  // namespace autocfd::interp

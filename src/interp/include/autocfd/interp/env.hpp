@@ -1,0 +1,56 @@
+// Execution environment: slot-indexed scalar and array storage for one
+// interpreter instance (one rank of the simulated cluster, or the
+// sequential reference run).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "autocfd/interp/image.hpp"
+
+namespace autocfd::interp {
+
+struct ArrayValue {
+  std::vector<double> data;
+  std::vector<long long> lower;   // declared lower bound per dim
+  std::vector<long long> extent;  // points per dim
+
+  [[nodiscard]] int rank() const { return static_cast<int>(lower.size()); }
+  [[nodiscard]] long long upper(int dim) const {
+    return lower[static_cast<std::size_t>(dim)] +
+           extent[static_cast<std::size_t>(dim)] - 1;
+  }
+  /// Column-major (Fortran) linear index; throws on out-of-bounds.
+  [[nodiscard]] long long index(std::span<const long long> subs) const;
+  [[nodiscard]] bool allocated() const { return !data.empty(); }
+};
+
+class Env {
+ public:
+  /// Fresh environment: parameters preset, scalars zeroed, arrays
+  /// unallocated (call allocate_arrays once rank scalars are set).
+  explicit Env(const ProgramImage& image);
+  Env() = default;  // empty shell, assign a real Env before use
+
+  std::vector<double> scalars;
+  std::vector<ArrayValue> arrays;
+
+  /// Allocates (or reallocates) every declared array by evaluating its
+  /// declared bounds against the current scalar values. Bounds may
+  /// reference parameters and the acfd_* rank scalars the restructurer
+  /// introduces.
+  void allocate_arrays(const ProgramImage& image, DiagnosticEngine& diags);
+
+  /// Total bytes of array storage — the working set for the memory
+  /// model of the simulated machine.
+  [[nodiscard]] long long array_bytes() const;
+
+  [[nodiscard]] double scalar(int slot) const {
+    return scalars[static_cast<std::size_t>(slot)];
+  }
+  void set_scalar(int slot, double v) {
+    scalars[static_cast<std::size_t>(slot)] = v;
+  }
+};
+
+}  // namespace autocfd::interp

@@ -1,0 +1,90 @@
+// ProgramImage: the resolved, executable form of a parsed (or
+// restructured) Fortran program.
+//
+// The build pass assigns integer slots to every variable reference so
+// the interpreter never touches a name at run time:
+//   * scalars and arrays in COMMON share one slot program-wide (the
+//     subset matches common storage by name);
+//   * other variables get one slot per (unit, name) — proper Fortran
+//     local storage;
+//   * parameters become preset scalars;
+//   * intrinsics get an opcode in Expr::slot;
+//   * each Assign statement is annotated with its flop count for the
+//     virtual-time model.
+// Array shapes stay symbolic (DimBound expressions): the SPMD
+// restructurer resizes arrays per rank by making bounds reference
+// rank-dependent scalars, so shapes are evaluated per Env at
+// allocation time.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autocfd/fortran/ast.hpp"
+#include "autocfd/fortran/symbols.hpp"
+#include "autocfd/support/diagnostics.hpp"
+
+namespace autocfd::interp {
+
+/// Intrinsic opcodes stored in Expr::slot for ExprKind::Intrinsic.
+enum class Intrinsic : int {
+  Abs, Sqrt, Exp, Log, Sin, Cos, Tan, Atan, Atan2,
+  Max, Min, Mod, Int, Nint, Float, Real, Dble, Sign,
+};
+
+struct ArraySlotInfo {
+  std::string name;
+  /// Dim bounds of the declaring unit (non-owning; one decl per slot —
+  /// common arrays must agree, enforced by GlobalSymbols).
+  const fortran::VarDecl* decl = nullptr;
+};
+
+class ProgramImage {
+ public:
+  /// Resolves the file in place (annotating Expr/Stmt slots).
+  /// The file must outlive the image.
+  static ProgramImage build(fortran::SourceFile& file,
+                            DiagnosticEngine& diags);
+
+  [[nodiscard]] const fortran::SourceFile& file() const { return *file_; }
+  [[nodiscard]] const fortran::ProgramUnit* unit(std::string_view name) const;
+  [[nodiscard]] const fortran::ProgramUnit* main() const { return main_; }
+
+  [[nodiscard]] int num_scalar_slots() const { return num_scalars_; }
+  [[nodiscard]] const std::vector<ArraySlotInfo>& array_slots() const {
+    return arrays_;
+  }
+
+  /// Slot of a scalar as visible in `unit` (commons resolve globally);
+  /// -1 if unknown.
+  [[nodiscard]] int scalar_slot(std::string_view unit,
+                                std::string_view name) const;
+  [[nodiscard]] int array_slot(std::string_view unit,
+                               std::string_view name) const;
+
+  /// Slot of an array by bare name: the common (global) slot if there
+  /// is one, else the unique unit-local slot; -1 if absent or
+  /// ambiguous. Used by the SPMD runtime to address status arrays.
+  [[nodiscard]] int find_array_slot(std::string_view name) const;
+
+  /// Parameter presets applied to every fresh Env.
+  [[nodiscard]] const std::vector<std::pair<int, double>>& presets() const {
+    return presets_;
+  }
+
+  /// Flop cost of one evaluation of `e` (used for Assign annotation and
+  /// exposed for the cost-model tests).
+  [[nodiscard]] static double flop_cost(const fortran::Expr& e);
+
+ private:
+  fortran::SourceFile* file_ = nullptr;
+  const fortran::ProgramUnit* main_ = nullptr;
+  int num_scalars_ = 0;
+  std::vector<ArraySlotInfo> arrays_;
+  std::map<std::string, int> scalar_by_key_;
+  std::map<std::string, int> array_by_key_;
+  std::vector<std::pair<int, double>> presets_;
+};
+
+}  // namespace autocfd::interp

@@ -1,0 +1,83 @@
+// Tree-walking interpreter for the resolved Fortran subset.
+//
+// Executes both the sequential input program and the SPMD program the
+// restructurer produces. Parallel extension statements (HaloExchange,
+// AllReduce, Pipeline*, Barrier) are delegated to the `on_extension`
+// hook — the spmd runtime implements them against the simulated
+// cluster; with no hook they are no-ops, which makes the sequential
+// semantics trivially available.
+//
+// Work accounting: every executed Assign adds its precomputed flop
+// count to a counter the runtime samples to advance virtual time.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autocfd/interp/env.hpp"
+
+namespace autocfd::interp {
+
+class Interpreter {
+ public:
+  struct Hooks {
+    /// Called for every parallel extension statement.
+    std::function<void(const fortran::Stmt&, Env&)> on_extension;
+    /// Supplies data for `read` statements (by array name); fills
+    /// zeros when unset.
+    std::function<std::vector<double>(const std::string&)> on_read;
+    /// Receives each `write` statement's formatted values.
+    std::function<void(const std::string&)> on_write;
+  };
+
+  Interpreter(const ProgramImage& image, Hooks hooks = {});
+
+  /// Runs the main program to completion.
+  void run(Env& env);
+  /// Runs one unit's body (used by tests and the spmd runtime).
+  void run_unit(const fortran::ProgramUnit& unit, Env& env);
+
+  /// Evaluates an expression (exposed for tests and the runtime).
+  [[nodiscard]] double eval(const fortran::Expr& e, Env& env) const;
+
+  /// Floating-point operations executed since the last reset.
+  [[nodiscard]] double flops() const { return flops_; }
+  void reset_flops() { flops_ = 0.0; }
+
+  /// Lines captured from write/print statements (when no hook is set).
+  [[nodiscard]] const std::vector<std::string>& output() const {
+    return output_;
+  }
+
+ private:
+  enum class Signal { Normal, Goto, Return, Stop };
+
+  Signal exec_list(const fortran::StmtList& list, Env& env);
+  Signal exec_stmt(const fortran::Stmt& s, Env& env);
+  void exec_assign(const fortran::Stmt& s, Env& env);
+  Signal exec_do(const fortran::Stmt& s, Env& env);
+  void exec_read(const fortran::Stmt& s, Env& env);
+  void exec_write(const fortran::Stmt& s, Env& env);
+
+  const ProgramImage* image_;
+  Hooks hooks_;
+  double flops_ = 0.0;
+  int pending_goto_ = 0;
+  std::vector<std::string> output_;
+};
+
+/// Convenience: parse-resolve-run a sequential program; returns the
+/// finished Env for inspection. Throws CompileError on any failure.
+struct SequentialResult {
+  fortran::SourceFile file;  // owns the resolved AST
+  ProgramImage image;
+  Env env;
+  double flops = 0.0;
+  std::vector<std::string> output;
+};
+/// Note: the result holds image/env referencing its own `file`.
+[[nodiscard]] std::unique_ptr<SequentialResult> run_sequential(
+    std::string_view source);
+
+}  // namespace autocfd::interp

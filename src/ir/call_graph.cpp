@@ -1,0 +1,80 @@
+#include "autocfd/ir/call_graph.hpp"
+
+#include <set>
+
+namespace autocfd::ir {
+
+namespace {
+
+void collect_calls(const fortran::StmtList& stmts, const std::string& caller,
+                   std::vector<CallSite>& out) {
+  for (const auto& s : stmts) {
+    if (s->kind == fortran::StmtKind::Call) {
+      out.push_back(CallSite{s.get(), caller, s->callee});
+    }
+    collect_calls(s->body, caller, out);
+    collect_calls(s->else_body, caller, out);
+  }
+}
+
+}  // namespace
+
+CallGraph CallGraph::build(const fortran::SourceFile& file,
+                           DiagnosticEngine& diags) {
+  CallGraph g;
+  std::map<std::string, std::set<std::string>> edges;
+  for (const auto& unit : file.units) {
+    edges[unit.name];  // ensure node exists
+    collect_calls(unit.body, unit.name, g.sites_);
+  }
+  for (const auto& site : g.sites_) {
+    if (!file.find_unit(site.callee)) {
+      diags.error(site.stmt->loc,
+                  "call to undefined subroutine '" + site.callee + "'");
+      continue;
+    }
+    edges[site.caller].insert(site.callee);
+  }
+
+  // Bottom-up (callees first) via DFS post-order with cycle detection.
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& u) {
+        state[u] = 1;
+        for (const auto& v : edges[u]) {
+          if (state[v] == 1) {
+            g.recursive_ = true;
+            diags.error({}, "recursive call chain involving '" + v +
+                                "' (recursion is outside the F77 subset)");
+            continue;
+          }
+          if (state[v] == 0) dfs(v);
+        }
+        state[u] = 2;
+        g.order_.push_back(u);
+      };
+  for (const auto& unit : file.units) {
+    if (state[unit.name] == 0) dfs(unit.name);
+  }
+  return g;
+}
+
+std::vector<const CallSite*> CallGraph::calls_from(
+    std::string_view caller) const {
+  std::vector<const CallSite*> out;
+  for (const auto& s : sites_) {
+    if (s.caller == caller) out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<const CallSite*> CallGraph::calls_to(
+    std::string_view callee) const {
+  std::vector<const CallSite*> out;
+  for (const auto& s : sites_) {
+    if (s.callee == callee) out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace autocfd::ir

@@ -1,0 +1,303 @@
+#include "autocfd/ir/field_loop.hpp"
+
+#include <algorithm>
+
+namespace autocfd::ir {
+
+using fortran::Expr;
+using fortran::ExprKind;
+using fortran::Stmt;
+using fortran::StmtKind;
+
+bool FieldConfig::is_status(std::string_view array) const {
+  return std::find(status_arrays.begin(), status_arrays.end(), array) !=
+         status_arrays.end();
+}
+
+int FieldConfig::status_dims(int array_rank) const {
+  return std::min(array_rank, grid_rank);
+}
+
+std::string_view loop_type_name(LoopType t) {
+  switch (t) {
+    case LoopType::A: return "A";
+    case LoopType::R: return "R";
+    case LoopType::C: return "C";
+    case LoopType::O: return "O";
+  }
+  return "?";
+}
+
+LoopType FieldLoop::type_for(std::string_view array) const {
+  const auto it = arrays.find(std::string(array));
+  if (it == arrays.end()) return LoopType::O;
+  const auto& info = it->second;
+  if (info.assigned() && info.referenced()) return LoopType::C;
+  if (info.assigned()) return LoopType::A;
+  if (info.referenced()) return LoopType::R;
+  return LoopType::O;
+}
+
+std::vector<int> FieldLoop::scanned_dims() const {
+  std::vector<int> dims;
+  for (const auto& [var, dim] : var_dims) dims.push_back(dim);
+  std::sort(dims.begin(), dims.end());
+  dims.erase(std::unique(dims.begin(), dims.end()), dims.end());
+  return dims;
+}
+
+int FieldLoop::dir_of_dim(int dim) const {
+  for (const auto& [var, d] : var_dims) {
+    if (d == dim) {
+      const auto it = var_dirs.find(var);
+      return it == var_dirs.end() ? +1 : it->second;
+    }
+  }
+  return 0;
+}
+
+SubscriptPattern classify_subscript(
+    const Expr& sub, const std::map<std::string, int>& loop_vars) {
+  SubscriptPattern p;
+  switch (sub.kind) {
+    case ExprKind::IntLit:
+      p.kind = SubscriptPattern::Kind::Invariant;
+      p.const_value = sub.int_value;
+      return p;
+    case ExprKind::VarRef:
+      if (loop_vars.contains(sub.name)) {
+        p.kind = SubscriptPattern::Kind::LoopIndex;
+        p.loop_var = sub.name;
+        p.offset = 0;
+      } else {
+        p.kind = SubscriptPattern::Kind::Invariant;
+      }
+      return p;
+    case ExprKind::Binary: {
+      if (sub.bin_op != fortran::BinOp::Add &&
+          sub.bin_op != fortran::BinOp::Sub) {
+        break;
+      }
+      const Expr& a = *sub.args[0];
+      const Expr& b = *sub.args[1];
+      // var +/- const
+      if (a.kind == ExprKind::VarRef && loop_vars.contains(a.name) &&
+          b.kind == ExprKind::IntLit) {
+        p.kind = SubscriptPattern::Kind::LoopIndex;
+        p.loop_var = a.name;
+        p.offset = sub.bin_op == fortran::BinOp::Add ? b.int_value
+                                                     : -b.int_value;
+        return p;
+      }
+      // const + var
+      if (sub.bin_op == fortran::BinOp::Add && a.kind == ExprKind::IntLit &&
+          b.kind == ExprKind::VarRef && loop_vars.contains(b.name)) {
+        p.kind = SubscriptPattern::Kind::LoopIndex;
+        p.loop_var = b.name;
+        p.offset = a.int_value;
+        return p;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  // Loop-invariant if no enclosing loop variable occurs inside.
+  bool uses_loop_var = false;
+  fortran::for_each_expr(sub, [&](const Expr& e) {
+    if (e.kind == ExprKind::VarRef && loop_vars.contains(e.name)) {
+      uses_loop_var = true;
+    }
+  });
+  p.kind = uses_loop_var ? SubscriptPattern::Kind::Complex
+                         : SubscriptPattern::Kind::Invariant;
+  return p;
+}
+
+namespace {
+
+/// Collects loop variables (with directions) of a Do nest rooted at
+/// `loop`, descending through Do and If structure alike.
+void collect_loop_vars(const Stmt& loop, std::map<std::string, int>& vars,
+                       std::map<std::string, int>& dirs) {
+  if (loop.kind == StmtKind::Do) {
+    // Direction from the sign of a constant step (default +1).
+    int dir = +1;
+    if (loop.step) {
+      const Expr& st = *loop.step;
+      if (st.kind == ExprKind::IntLit && st.int_value < 0) dir = -1;
+      if (st.kind == ExprKind::Unary && st.un_op == fortran::UnOp::Neg) {
+        dir = -1;
+      }
+    }
+    vars.emplace(loop.do_var, -1);  // dimension resolved later
+    dirs.emplace(loop.do_var, dir);
+  }
+  for (const auto& s : loop.body) collect_loop_vars(*s, vars, dirs);
+  for (const auto& s : loop.else_body) collect_loop_vars(*s, vars, dirs);
+}
+
+struct Collector {
+  const FieldConfig* config;
+  std::map<std::string, int>* loop_vars;  // var -> dim (being resolved)
+  FieldLoop* out;
+  DiagnosticEngine* diags;
+
+  void record_access(const Stmt& stmt, const Expr& ref, bool is_write) {
+    ArrayAccess acc;
+    acc.stmt = &stmt;
+    acc.is_write = is_write;
+    const int n_status =
+        config->status_dims(static_cast<int>(ref.args.size()));
+    for (std::size_t d = 0; d < ref.args.size(); ++d) {
+      auto p = classify_subscript(*ref.args[d], *loop_vars);
+      if (p.kind == SubscriptPattern::Kind::LoopIndex &&
+          static_cast<int>(d) < n_status) {
+        // Bind the loop variable to this grid dimension.
+        auto& dim = (*loop_vars)[p.loop_var];
+        if (dim == -1) {
+          dim = static_cast<int>(d);
+        } else if (dim != static_cast<int>(d)) {
+          // The same variable scans two different dimensions (e.g. a
+          // diagonal access v(i,i)); treat the subscript as complex.
+          p.kind = SubscriptPattern::Kind::Complex;
+        }
+      }
+      acc.subs.push_back(std::move(p));
+    }
+    auto& info = out->arrays[ref.name];
+    info.name = ref.name;
+    (is_write ? info.writes : info.reads).push_back(std::move(acc));
+  }
+
+  void visit_expr(const Stmt& stmt, const Expr& e, bool is_write_root) {
+    if (e.kind == ExprKind::ArrayRef && config->is_status(e.name)) {
+      record_access(stmt, e, is_write_root);
+      // Subscripts themselves may contain reads of status arrays
+      // (indirect indexing); record them as reads.
+      for (const auto& a : e.args) visit_expr(stmt, *a, false);
+      return;
+    }
+    for (const auto& a : e.args) {
+      if (a) visit_expr(stmt, *a, false);
+    }
+  }
+
+  void detect_reduction(const Stmt& stmt) {
+    // s = max(s, ...) / s = min(s, ...) / s = s + ...
+    if (stmt.lhs->kind != ExprKind::VarRef) return;
+    const std::string& var = stmt.lhs->name;
+    const Expr& rhs = *stmt.rhs;
+    if (rhs.kind == ExprKind::Intrinsic &&
+        (rhs.name == "max" || rhs.name == "min" || rhs.name == "amax1" ||
+         rhs.name == "amin1") &&
+        !rhs.args.empty() && rhs.args[0]->kind == ExprKind::VarRef &&
+        rhs.args[0]->name == var) {
+      const std::string op =
+          (rhs.name == "max" || rhs.name == "amax1") ? "max" : "min";
+      out->reductions.push_back(ReductionInfo{var, op, &stmt});
+      return;
+    }
+    if (rhs.kind == ExprKind::Binary && rhs.bin_op == fortran::BinOp::Add &&
+        rhs.args[0]->kind == ExprKind::VarRef && rhs.args[0]->name == var) {
+      out->reductions.push_back(ReductionInfo{var, "sum", &stmt});
+    }
+  }
+
+  void visit_stmts(const fortran::StmtList& stmts) {
+    for (const auto& s : stmts) {
+      switch (s->kind) {
+        case StmtKind::Assign:
+          visit_expr(*s, *s->lhs, true);
+          visit_expr(*s, *s->rhs, false);
+          detect_reduction(*s);
+          break;
+        case StmtKind::Do:
+          if (s->lo) visit_expr(*s, *s->lo, false);
+          if (s->hi) visit_expr(*s, *s->hi, false);
+          break;
+        case StmtKind::If:
+          visit_expr(*s, *s->cond, false);
+          break;
+        default:
+          for (const auto& a : s->args) {
+            if (a) visit_expr(*s, *a, false);
+          }
+          break;
+      }
+      visit_stmts(s->body);
+      visit_stmts(s->else_body);
+    }
+  }
+};
+
+/// True if the loop variable of `node` indexes a status dimension of a
+/// status array somewhere under it.
+bool scans_field(const LoopTree::Node& node, const FieldLoop& fl) {
+  const auto it = fl.var_dims.find(node.loop->do_var);
+  return it != fl.var_dims.end() && it->second >= 0;
+}
+
+}  // namespace
+
+std::vector<FieldLoop> analyze_field_loops(const fortran::ProgramUnit& unit,
+                                           const FieldConfig& config,
+                                           DiagnosticEngine& diags) {
+  std::vector<FieldLoop> out;
+  const LoopTree tree = LoopTree::build(unit);
+
+  // Analyze every loop node tentatively; then keep maximal nests.
+  std::map<const LoopTree::Node*, FieldLoop> analyzed;
+  for (const auto* node : tree.all_nodes()) {
+    FieldLoop fl;
+    fl.loop = node->loop;
+    fl.unit = &unit;
+    std::map<std::string, int> vars, dirs;
+    collect_loop_vars(*node->loop, vars, dirs);
+    fl.var_dims = std::move(vars);
+    fl.var_dirs = std::move(dirs);
+
+    Collector c{&config, &fl.var_dims, &fl, &diags};
+    c.visit_stmts(node->loop->body);
+    // Also classify subscripts in the loop header of the root itself.
+    analyzed.emplace(node, std::move(fl));
+  }
+
+  // A field-loop root is a loop that scans the field while no ancestor
+  // does (the frame/iteration loop above it does not index the grid).
+  // Decide for every node before any FieldLoop is moved out of the map.
+  std::map<const LoopTree::Node*, bool> scans;
+  for (const auto* node : tree.all_nodes()) {
+    scans[node] = scans_field(*node, analyzed.at(node));
+  }
+  for (const auto* node : tree.all_nodes()) {
+    auto& fl = analyzed.at(node);
+    if (!scans.at(node)) continue;
+    bool ancestor_scans = false;
+    for (const auto* anc : LoopTree::ancestors(*node)) {
+      if (scans.at(anc)) {
+        ancestor_scans = true;
+        break;
+      }
+    }
+    if (ancestor_scans) continue;
+    // Drop variables that never got a dimension.
+    for (auto it = fl.var_dims.begin(); it != fl.var_dims.end();) {
+      if (it->second < 0) {
+        it = fl.var_dims.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    out.push_back(std::move(fl));
+  }
+
+  // Document order.
+  std::sort(out.begin(), out.end(),
+            [](const FieldLoop& a, const FieldLoop& b) {
+              return a.loop->id < b.loop->id;
+            });
+  return out;
+}
+
+}  // namespace autocfd::ir

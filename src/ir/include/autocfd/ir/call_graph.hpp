@@ -1,0 +1,49 @@
+// Call graph over program units. The interprocedural synchronization
+// optimization (paper section 5.3) hoists sync regions out of
+// subroutines, which requires call sites and a recursion check (the
+// Fortran-77 subset forbids recursion, as F77 itself does).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autocfd/fortran/ast.hpp"
+#include "autocfd/support/diagnostics.hpp"
+
+namespace autocfd::ir {
+
+struct CallSite {
+  const fortran::Stmt* stmt = nullptr;  // the Call statement
+  std::string caller;
+  std::string callee;
+};
+
+class CallGraph {
+ public:
+  static CallGraph build(const fortran::SourceFile& file,
+                         DiagnosticEngine& diags);
+
+  [[nodiscard]] const std::vector<CallSite>& call_sites() const {
+    return sites_;
+  }
+  [[nodiscard]] std::vector<const CallSite*> calls_from(
+      std::string_view caller) const;
+  [[nodiscard]] std::vector<const CallSite*> calls_to(
+      std::string_view callee) const;
+
+  /// Units in reverse topological order (callees before callers); the
+  /// interprocedural sync pass processes them bottom-up.
+  [[nodiscard]] const std::vector<std::string>& bottom_up_order() const {
+    return order_;
+  }
+
+  [[nodiscard]] bool has_recursion() const { return recursive_; }
+
+ private:
+  std::vector<CallSite> sites_;
+  std::vector<std::string> order_;
+  bool recursive_ = false;
+};
+
+}  // namespace autocfd::ir

@@ -1,0 +1,62 @@
+// Loop structure tree implementing the paper's Definitions 6.1-6.4:
+// inner/outer loops, direct inner/outer loops, adjacent loops and
+// simple loops. The sync optimizer (section 5) is phrased entirely in
+// terms of these relations.
+//
+// Nodes point into the unit's AST (non-owning); the tree is valid as
+// long as the SourceFile it was built from is alive and unmodified.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "autocfd/fortran/ast.hpp"
+
+namespace autocfd::ir {
+
+class LoopTree {
+ public:
+  struct Node {
+    const fortran::Stmt* loop = nullptr;  // the Do statement
+    Node* parent = nullptr;               // enclosing loop, null if top level
+    std::vector<Node*> children;          // loops directly inside
+    int depth = 0;                        // 0 for outermost loops
+  };
+
+  /// Builds the loop tree for one program unit. Loops inside both
+  /// branches of an If are still "inside" their enclosing loop, so If
+  /// nesting is transparent here (branch structure is handled by the
+  /// sync region machinery separately).
+  static LoopTree build(const fortran::ProgramUnit& unit);
+
+  [[nodiscard]] const std::vector<Node*>& roots() const { return roots_; }
+  [[nodiscard]] const Node* node_for(const fortran::Stmt& loop) const;
+  [[nodiscard]] std::vector<const Node*> all_nodes() const;
+
+  // --- Definitions 6.1-6.4 -------------------------------------------------
+
+  /// Def 6.1: L2 is an inner loop of L1 (strictly nested, any depth).
+  [[nodiscard]] static bool is_inner(const Node& l2, const Node& l1);
+
+  /// Def 6.2: L1 |- L2 — L2 is a *direct* inner loop of L1.
+  [[nodiscard]] static bool is_direct_inner(const Node& l2, const Node& l1);
+
+  /// Def 6.3: L1 || L2 — adjacent loops (same direct outer loop, or
+  /// both outermost).
+  [[nodiscard]] static bool adjacent(const Node& l1, const Node& l2);
+
+  /// Def 6.4: a simple loop contains no pair of adjacent inner loops —
+  /// i.e. every nesting level inside it has at most one loop.
+  [[nodiscard]] static bool is_simple(const Node& l);
+
+  /// The chain of enclosing loops, innermost first.
+  [[nodiscard]] static std::vector<const Node*> ancestors(const Node& l);
+
+ private:
+  std::vector<std::unique_ptr<Node>> storage_;
+  std::vector<Node*> roots_;
+  std::map<const fortran::Stmt*, Node*> by_stmt_;
+};
+
+}  // namespace autocfd::ir

@@ -1,0 +1,86 @@
+#include "autocfd/ir/loop_tree.hpp"
+
+namespace autocfd::ir {
+
+namespace {
+
+void collect(const fortran::StmtList& stmts, LoopTree::Node* parent,
+             std::vector<std::unique_ptr<LoopTree::Node>>& storage,
+             std::vector<LoopTree::Node*>& roots,
+             std::map<const fortran::Stmt*, LoopTree::Node*>& by_stmt) {
+  for (const auto& s : stmts) {
+    if (s->kind == fortran::StmtKind::Do) {
+      auto node = std::make_unique<LoopTree::Node>();
+      node->loop = s.get();
+      node->parent = parent;
+      node->depth = parent ? parent->depth + 1 : 0;
+      LoopTree::Node* raw = node.get();
+      storage.push_back(std::move(node));
+      by_stmt[s.get()] = raw;
+      if (parent) {
+        parent->children.push_back(raw);
+      } else {
+        roots.push_back(raw);
+      }
+      collect(s->body, raw, storage, roots, by_stmt);
+      collect(s->else_body, raw, storage, roots, by_stmt);
+    } else {
+      // If branches and logical-if bodies are transparent for loop
+      // nesting purposes.
+      collect(s->body, parent, storage, roots, by_stmt);
+      collect(s->else_body, parent, storage, roots, by_stmt);
+    }
+  }
+}
+
+}  // namespace
+
+LoopTree LoopTree::build(const fortran::ProgramUnit& unit) {
+  LoopTree tree;
+  collect(unit.body, nullptr, tree.storage_, tree.roots_, tree.by_stmt_);
+  return tree;
+}
+
+const LoopTree::Node* LoopTree::node_for(const fortran::Stmt& loop) const {
+  const auto it = by_stmt_.find(&loop);
+  return it == by_stmt_.end() ? nullptr : it->second;
+}
+
+std::vector<const LoopTree::Node*> LoopTree::all_nodes() const {
+  std::vector<const Node*> out;
+  out.reserve(storage_.size());
+  for (const auto& n : storage_) out.push_back(n.get());
+  return out;
+}
+
+bool LoopTree::is_inner(const Node& l2, const Node& l1) {
+  for (const Node* p = l2.parent; p; p = p->parent) {
+    if (p == &l1) return true;
+  }
+  return false;
+}
+
+bool LoopTree::is_direct_inner(const Node& l2, const Node& l1) {
+  return l2.parent == &l1;
+}
+
+bool LoopTree::adjacent(const Node& l1, const Node& l2) {
+  return &l1 != &l2 && l1.parent == l2.parent;
+}
+
+bool LoopTree::is_simple(const Node& l) {
+  // No nesting level inside l may hold two adjacent loops.
+  if (l.children.size() > 1) return false;
+  for (const Node* c : l.children) {
+    if (!is_simple(*c)) return false;
+  }
+  return true;
+}
+
+std::vector<const LoopTree::Node*> LoopTree::ancestors(const Node& l) {
+  std::vector<const Node*> out;
+  for (const Node* p = l.parent; p; p = p->parent) out.push_back(p);
+  return out;
+}
+
+}  // namespace autocfd::ir

@@ -1,0 +1,194 @@
+#include "autocfd/mp/cluster.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace autocfd::mp {
+
+int Comm::size() const { return cluster_->size(); }
+const MachineConfig& Comm::config() const { return cluster_->config(); }
+
+void Comm::add_compute(double seconds) {
+  std::lock_guard lock(cluster_->mu_);
+  cluster_->clocks_[static_cast<std::size_t>(rank_)] += seconds;
+  cluster_->stats_[static_cast<std::size_t>(rank_)].compute_time += seconds;
+}
+
+double Comm::now() const {
+  std::lock_guard lock(cluster_->mu_);
+  return cluster_->clocks_[static_cast<std::size_t>(rank_)];
+}
+
+const RankStats& Comm::stats() const {
+  return cluster_->stats_[static_cast<std::size_t>(rank_)];
+}
+
+void Comm::send(int dst, int tag, std::vector<double> data) {
+  cluster_->send_impl(rank_, dst, tag, std::move(data), 1);
+}
+
+void Comm::send_chunked(int dst, int tag, std::vector<double> data,
+                        long long n_messages) {
+  cluster_->send_impl(rank_, dst, tag, std::move(data),
+                      std::max<long long>(n_messages, 1));
+}
+
+std::vector<double> Comm::recv(int src, int tag) {
+  return cluster_->recv_impl(rank_, src, tag);
+}
+
+std::vector<double> Comm::sendrecv(int peer, int tag,
+                                   std::vector<double> data) {
+  // Deterministic pairing: lower rank sends first. With buffered sends
+  // either order works, but keeping it fixed makes traces stable.
+  if (rank_ < peer) {
+    send(peer, tag, std::move(data));
+    return recv(peer, tag);
+  }
+  auto in = recv(peer, tag);
+  send(peer, tag, std::move(data));
+  return in;
+}
+
+double Comm::allreduce_max(double value) {
+  return cluster_->allreduce_impl(rank_, value, /*is_max=*/true);
+}
+
+double Comm::allreduce_sum(double value) {
+  return cluster_->allreduce_impl(rank_, value, /*is_max=*/false);
+}
+
+void Comm::barrier() { cluster_->barrier_impl(rank_); }
+
+Cluster::Cluster(int nprocs, MachineConfig config)
+    : nprocs_(nprocs), config_(config) {
+  if (nprocs < 1) throw std::invalid_argument("cluster needs >= 1 rank");
+  clocks_.assign(static_cast<std::size_t>(nprocs), 0.0);
+  stats_.assign(static_cast<std::size_t>(nprocs), RankStats{});
+}
+
+double Cluster::RunResult::elapsed() const {
+  double best = 0.0;
+  for (const auto& r : ranks) best = std::max(best, r.total_time());
+  return best;
+}
+
+Cluster::RunResult Cluster::run(const std::function<void(Comm&)>& fn) {
+  // Reset state so a Cluster can run several programs.
+  {
+    std::lock_guard lock(mu_);
+    channels_.clear();
+    clocks_.assign(static_cast<std::size_t>(nprocs_), 0.0);
+    stats_.assign(static_cast<std::size_t>(nprocs_), RankStats{});
+    coll_arrived_ = 0;
+    coll_generation_ = 0;
+  }
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs_));
+  threads.reserve(static_cast<std::size_t>(nprocs_));
+  for (int r = 0; r < nprocs_; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      Comm comm(*this, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        cv_.notify_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  RunResult result;
+  result.ranks = stats_;
+  return result;
+}
+
+void Cluster::send_impl(int src, int dst, int tag, std::vector<double> data,
+                        long long n_messages) {
+  if (dst < 0 || dst >= nprocs_) {
+    throw std::out_of_range("send to invalid rank " + std::to_string(dst));
+  }
+  const auto bytes =
+      static_cast<long long>(data.size() * sizeof(double));
+  const double cost =
+      static_cast<double>(n_messages) * config_.net_latency +
+      static_cast<double>(bytes) * config_.net_byte_time;
+  std::lock_guard lock(mu_);
+  auto& clock = clocks_[static_cast<std::size_t>(src)];
+  auto& st = stats_[static_cast<std::size_t>(src)];
+  clock += cost;  // blocking, store-and-forward: sender pays in full
+  st.comm_time += cost;
+  st.messages_sent += n_messages;
+  st.bytes_sent += bytes;
+  channels_[{src, dst}].push_back(Message{tag, std::move(data), clock});
+  cv_.notify_all();
+}
+
+std::vector<double> Cluster::recv_impl(int dst, int src, int tag) {
+  if (src < 0 || src >= nprocs_) {
+    throw std::out_of_range("recv from invalid rank " + std::to_string(src));
+  }
+  std::unique_lock lock(mu_);
+  auto& queue = channels_[{src, dst}];
+  // MPI semantics: match the first message with this tag (FIFO per
+  // (source, tag) pair), skipping messages with other tags.
+  auto match = queue.end();
+  cv_.wait(lock, [&] {
+    match = std::find_if(queue.begin(), queue.end(), [tag](const Message& m) {
+      return m.tag == tag;
+    });
+    return match != queue.end();
+  });
+  Message msg = std::move(*match);
+  queue.erase(match);
+  auto& clock = clocks_[static_cast<std::size_t>(dst)];
+  auto& st = stats_[static_cast<std::size_t>(dst)];
+  const double before = clock;
+  clock = std::max(clock, msg.arrival_time);
+  st.comm_time += clock - before;  // waiting counts as communication
+  return std::move(msg.data);
+}
+
+double Cluster::allreduce_impl(int rank, double value, bool is_max) {
+  std::unique_lock lock(mu_);
+  const long long my_generation = coll_generation_;
+  if (coll_arrived_ == 0) {
+    coll_value_max_ = value;
+    coll_value_sum_ = value;
+    coll_time_ = clocks_[static_cast<std::size_t>(rank)];
+  } else {
+    coll_value_max_ = std::max(coll_value_max_, value);
+    coll_value_sum_ += value;
+    coll_time_ =
+        std::max(coll_time_, clocks_[static_cast<std::size_t>(rank)]);
+  }
+  ++coll_arrived_;
+  stats_[static_cast<std::size_t>(rank)].collectives += 1;
+  if (coll_arrived_ == nprocs_) {
+    // Tree-structured collective: log2(P) message rounds each way.
+    int rounds = 0;
+    for (int p = 1; p < nprocs_; p *= 2) ++rounds;
+    coll_time_ += static_cast<double>(config_.collective_log_cost * rounds) *
+                  config_.message_time(static_cast<long long>(sizeof(double)));
+    coll_arrived_ = 0;
+    ++coll_generation_;
+    for (int r = 0; r < nprocs_; ++r) {
+      auto& st = stats_[static_cast<std::size_t>(r)];
+      st.comm_time += coll_time_ - clocks_[static_cast<std::size_t>(r)];
+      clocks_[static_cast<std::size_t>(r)] = coll_time_;
+    }
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return coll_generation_ != my_generation; });
+  }
+  return is_max ? coll_value_max_ : coll_value_sum_;
+}
+
+void Cluster::barrier_impl(int rank) { (void)allreduce_impl(rank, 0.0, true); }
+
+}  // namespace autocfd::mp

@@ -1,0 +1,127 @@
+// Simulated message-passing cluster.
+//
+// Ranks run as real threads; message passing and collectives have MPI
+// semantics (blocking send/recv matched by (source, tag) in FIFO
+// order, allreduce, barrier). *Time*, however, is virtual: every rank
+// carries a clock advanced by compute and communication costs from the
+// MachineConfig, and message envelopes carry the sender's clock so a
+// receive completes at max(receiver clock, sender departure + transfer
+// time). With deterministic matching the resulting virtual times are
+// reproducible regardless of host scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "autocfd/mp/machine.hpp"
+
+namespace autocfd::mp {
+
+/// Per-rank cost/traffic counters.
+struct RankStats {
+  double compute_time = 0.0;
+  double comm_time = 0.0;
+  long long messages_sent = 0;
+  long long bytes_sent = 0;
+  long long collectives = 0;
+
+  [[nodiscard]] double total_time() const { return compute_time + comm_time; }
+};
+
+class Cluster;
+
+/// Per-rank communication handle (the MPI_COMM_WORLD analog).
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+  [[nodiscard]] const MachineConfig& config() const;
+
+  /// Advances this rank's virtual clock by compute time.
+  void add_compute(double seconds);
+  [[nodiscard]] double now() const;
+  [[nodiscard]] const RankStats& stats() const;
+
+  /// Blocking send: the sender's clock pays the full message time
+  /// (store-and-forward, no overlap).
+  void send(int dst, int tag, std::vector<double> data);
+  /// Send delivered as `n_messages` back-to-back wire messages (the
+  /// fine-grained pipelining of mirror-image sweeps: one message per
+  /// grid line crossing the block boundary). Pays n x latency plus the
+  /// byte cost once; matched by a single recv.
+  void send_chunked(int dst, int tag, std::vector<double> data,
+                    long long n_messages);
+  /// Blocking receive from a specific source.
+  [[nodiscard]] std::vector<double> recv(int src, int tag);
+  /// Paired exchange (the halo-swap workhorse); both sides pay one
+  /// message each way and synchronize clocks like MPI_Sendrecv.
+  [[nodiscard]] std::vector<double> sendrecv(int peer, int tag,
+                                             std::vector<double> data);
+
+  [[nodiscard]] double allreduce_max(double value);
+  [[nodiscard]] double allreduce_sum(double value);
+  void barrier();
+
+ private:
+  friend class Cluster;
+  Comm(Cluster& cluster, int rank) : cluster_(&cluster), rank_(rank) {}
+
+  Cluster* cluster_;
+  int rank_;
+};
+
+class Cluster {
+ public:
+  Cluster(int nprocs, MachineConfig config);
+
+  [[nodiscard]] int size() const { return nprocs_; }
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+  struct RunResult {
+    std::vector<RankStats> ranks;
+    /// Parallel execution time: the slowest rank's virtual clock.
+    [[nodiscard]] double elapsed() const;
+  };
+
+  /// Runs `fn` on every rank concurrently; returns per-rank stats.
+  /// Rethrows the first rank exception after joining all threads.
+  RunResult run(const std::function<void(Comm&)>& fn);
+
+ private:
+  friend class Comm;
+
+  struct Message {
+    int tag;
+    std::vector<double> data;
+    double arrival_time;  // sender departure + transfer time
+  };
+
+  void send_impl(int src, int dst, int tag, std::vector<double> data,
+                 long long n_messages);
+  std::vector<double> recv_impl(int dst, int src, int tag);
+  double allreduce_impl(int rank, double value, bool is_max);
+  void barrier_impl(int rank);
+
+  int nprocs_;
+  MachineConfig config_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // (src, dst) -> FIFO of messages.
+  std::map<std::pair<int, int>, std::deque<Message>> channels_;
+  std::vector<double> clocks_;
+  std::vector<RankStats> stats_;
+
+  // Collective rendezvous state.
+  int coll_arrived_ = 0;
+  long long coll_generation_ = 0;
+  double coll_value_max_ = 0.0;
+  double coll_value_sum_ = 0.0;
+  double coll_time_ = 0.0;
+};
+
+}  // namespace autocfd::mp

@@ -1,0 +1,32 @@
+#include "autocfd/mp/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autocfd::mp {
+
+double MachineConfig::memory_factor(long long working_set_bytes) const {
+  // Geometric interpolation between the cache-resident and RAM-resident
+  // regimes: the larger the fraction of the working set that misses
+  // cache, the slower each operation — this graded curve is what gives
+  // smaller per-rank working sets their edge (the paper's Table 3
+  // cache observation and Table 5 superlinear regime), with a thrash
+  // ramp once the working set no longer fits in RAM.
+  const auto ws = static_cast<double>(working_set_bytes);
+  const auto cache = static_cast<double>(cache_bytes);
+  const auto ram = static_cast<double>(memory_bytes);
+  if (ws <= cache) return cache_factor;
+  if (ws <= ram) {
+    const double t = std::log(ws / cache) / std::log(ram / cache);
+    return cache_factor * std::pow(ram_factor / cache_factor, t);
+  }
+  if (ws <= 1.5 * ram) {
+    const double t = (ws - ram) / (0.5 * ram);
+    return ram_factor + t * (thrash_factor - ram_factor);
+  }
+  return thrash_factor;
+}
+
+MachineConfig MachineConfig::pentium_ethernet_1999() { return {}; }
+
+}  // namespace autocfd::mp

@@ -1,0 +1,137 @@
+#include "autocfd/partition/grid.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "autocfd/support/strings.hpp"
+
+namespace autocfd::partition {
+
+long long Grid::total_points() const {
+  long long n = 1;
+  for (const auto e : extents) n *= e;
+  return n;
+}
+
+std::string Grid::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    if (i) os << 'x';
+    os << extents[i];
+  }
+  return os.str();
+}
+
+int PartitionSpec::num_tasks() const {
+  int n = 1;
+  for (const auto c : cuts) n *= c;
+  return n;
+}
+
+std::string PartitionSpec::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    if (i) os << 'x';
+    os << cuts[i];
+  }
+  return os.str();
+}
+
+PartitionSpec PartitionSpec::parse(std::string_view text) {
+  PartitionSpec spec;
+  for (const auto& part : autocfd::split(text, 'x')) {
+    const int v = std::stoi(part);
+    if (v < 1) throw std::invalid_argument("partition cut must be >= 1");
+    spec.cuts.push_back(v);
+  }
+  if (spec.cuts.empty()) {
+    throw std::invalid_argument("empty partition spec");
+  }
+  return spec;
+}
+
+long long SubGrid::points() const {
+  long long n = 1;
+  for (std::size_t d = 0; d < lo.size(); ++d) n *= hi[d] - lo[d] + 1;
+  return n;
+}
+
+std::vector<std::pair<long long, long long>> BlockPartition::split_extent(
+    long long n, int parts) {
+  std::vector<std::pair<long long, long long>> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  const long long base = n / parts;
+  const long long extra = n % parts;
+  long long next = 1;
+  for (int p = 0; p < parts; ++p) {
+    const long long len = base + (p < extra ? 1 : 0);
+    out.emplace_back(next, next + len - 1);
+    next += len;
+  }
+  return out;
+}
+
+BlockPartition::BlockPartition(Grid grid, PartitionSpec spec)
+    : grid_(std::move(grid)), spec_(std::move(spec)) {
+  if (grid_.rank() != spec_.rank()) {
+    throw std::invalid_argument("partition rank " +
+                                std::to_string(spec_.rank()) +
+                                " does not match grid rank " +
+                                std::to_string(grid_.rank()));
+  }
+  for (int d = 0; d < grid_.rank(); ++d) {
+    if (spec_.cuts[static_cast<std::size_t>(d)] > grid_.extents[static_cast<std::size_t>(d)]) {
+      throw std::invalid_argument("more cuts than points in dimension " +
+                                  std::to_string(d));
+    }
+  }
+
+  // Per-dimension balanced splits, then a row-major lattice walk
+  // (last dimension fastest) assigning ranks.
+  std::vector<std::vector<std::pair<long long, long long>>> splits;
+  splits.reserve(static_cast<std::size_t>(grid_.rank()));
+  for (int d = 0; d < grid_.rank(); ++d) {
+    splits.push_back(split_extent(grid_.extents[static_cast<std::size_t>(d)],
+                                  spec_.cuts[static_cast<std::size_t>(d)]));
+  }
+  const int ntasks = spec_.num_tasks();
+  subgrids_.resize(static_cast<std::size_t>(ntasks));
+  std::vector<int> coord(static_cast<std::size_t>(grid_.rank()), 0);
+  for (int r = 0; r < ntasks; ++r) {
+    SubGrid sg;
+    sg.coord = coord;
+    for (int d = 0; d < grid_.rank(); ++d) {
+      const auto& [lo, hi] =
+          splits[static_cast<std::size_t>(d)][static_cast<std::size_t>(
+              coord[static_cast<std::size_t>(d)])];
+      sg.lo.push_back(lo);
+      sg.hi.push_back(hi);
+    }
+    subgrids_[static_cast<std::size_t>(r)] = std::move(sg);
+    // increment lattice coordinate, last dimension fastest
+    for (int d = grid_.rank() - 1; d >= 0; --d) {
+      auto& c = coord[static_cast<std::size_t>(d)];
+      if (++c < spec_.cuts[static_cast<std::size_t>(d)]) break;
+      c = 0;
+    }
+  }
+}
+
+int BlockPartition::rank_of(const std::vector<int>& coord) const {
+  int r = 0;
+  for (int d = 0; d < spec_.rank(); ++d) {
+    r = r * spec_.cuts[static_cast<std::size_t>(d)] +
+        coord[static_cast<std::size_t>(d)];
+  }
+  return r;
+}
+
+std::optional<int> BlockPartition::neighbor(int rank, int dim, int dir) const {
+  auto coord = subgrid(rank).coord;
+  const auto d = static_cast<std::size_t>(dim);
+  coord[d] += dir;
+  if (coord[d] < 0 || coord[d] >= spec_.cuts[d]) return std::nullopt;
+  return rank_of(coord);
+}
+
+}  // namespace autocfd::partition

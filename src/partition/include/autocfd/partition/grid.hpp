@@ -1,0 +1,80 @@
+// Flow-field grid and block-partition descriptors (paper section 4.1).
+//
+// The pre-compiler partitions the computational grid into x*y*z equal
+// blocks; each block becomes one SPMD subtask. The paper's two goals:
+// balance the computation (equal point counts) and minimize the
+// communication (equal demarcation-line point counts).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace autocfd::partition {
+
+/// A structured computational grid: extent (number of points, 1-based)
+/// per dimension.
+struct Grid {
+  std::vector<long long> extents;
+
+  [[nodiscard]] int rank() const { return static_cast<int>(extents.size()); }
+  [[nodiscard]] long long total_points() const;
+  [[nodiscard]] std::string str() const;  // "99x41x13"
+};
+
+/// How many parts each dimension is cut into, e.g. {4,1,1} for the
+/// paper's "4 x 1 x 1" partitions.
+struct PartitionSpec {
+  std::vector<int> cuts;
+
+  [[nodiscard]] int num_tasks() const;
+  [[nodiscard]] int rank() const { return static_cast<int>(cuts.size()); }
+  [[nodiscard]] std::string str() const;  // "4x1x1"
+  [[nodiscard]] static PartitionSpec parse(std::string_view text);
+
+  friend bool operator==(const PartitionSpec&, const PartitionSpec&) = default;
+};
+
+/// The block owned by one subtask: inclusive global index range per
+/// dimension plus its coordinate in the partition lattice.
+struct SubGrid {
+  std::vector<long long> lo;
+  std::vector<long long> hi;
+  std::vector<int> coord;
+
+  [[nodiscard]] long long points() const;
+  [[nodiscard]] long long extent(int dim) const { return hi[dim] - lo[dim] + 1; }
+};
+
+/// Block partition of a grid: maps ranks <-> lattice coordinates and
+/// computes each rank's subgrid with maximally balanced extents
+/// (the first `n mod parts` blocks along a dimension get the extra
+/// point, so any two blocks differ by at most one point per dimension).
+class BlockPartition {
+ public:
+  BlockPartition(Grid grid, PartitionSpec spec);
+
+  [[nodiscard]] const Grid& grid() const { return grid_; }
+  [[nodiscard]] const PartitionSpec& spec() const { return spec_; }
+  [[nodiscard]] int num_tasks() const { return spec_.num_tasks(); }
+
+  [[nodiscard]] const SubGrid& subgrid(int rank) const {
+    return subgrids_.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] int rank_of(const std::vector<int>& coord) const;
+  /// Neighbor rank along `dim` in direction `dir` (+1/-1); nullopt at
+  /// the grid boundary.
+  [[nodiscard]] std::optional<int> neighbor(int rank, int dim,
+                                            int dir) const;
+
+  /// Balanced 1-D split: `parts` inclusive [lo, hi] ranges of 1..n.
+  [[nodiscard]] static std::vector<std::pair<long long, long long>>
+  split_extent(long long n, int parts);
+
+ private:
+  Grid grid_;
+  PartitionSpec spec_;
+  std::vector<SubGrid> subgrids_;
+};
+
+}  // namespace autocfd::partition

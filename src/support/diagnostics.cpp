@@ -1,0 +1,48 @@
+#include "autocfd/support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace autocfd {
+
+std::string SourceLoc::str() const {
+  if (!valid()) return "<unknown>";
+  std::ostringstream os;
+  os << line << ':' << column;
+  return os.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  switch (severity) {
+    case Severity::Note: os << "note"; break;
+    case Severity::Warning: os << "warning"; break;
+    case Severity::Error: os << "error"; break;
+  }
+  os << " at " << loc.str() << ": " << message;
+  return os.str();
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc,
+                              std::string message) {
+  if (sev == Severity::Error) ++error_count_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::dump() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.str() << '\n';
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+void throw_if_errors(const DiagnosticEngine& diags, const std::string& phase) {
+  if (diags.has_errors()) {
+    throw CompileError(phase + " failed:\n" + diags.dump());
+  }
+}
+
+}  // namespace autocfd

@@ -1,0 +1,76 @@
+// Diagnostics: source locations, errors and warnings for the Auto-CFD
+// pre-compiler. Every phase (lexer, parser, analyses, code generation)
+// reports through a DiagnosticEngine so callers can collect all problems
+// in one pass instead of dying on the first.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace autocfd {
+
+/// A position in a Fortran source file. Lines and columns are 1-based;
+/// line 0 means "unknown / synthesized".
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+enum class Severity { Note, Warning, Error };
+
+/// One diagnostic message attached to a source location.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics across a compilation. Phases keep going after
+/// recoverable errors; the driver checks has_errors() between phases.
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+  void note(SourceLoc loc, std::string message) {
+    report(Severity::Note, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// All diagnostics joined with newlines; handy for test assertions.
+  [[nodiscard]] std::string dump() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+/// Thrown for unrecoverable failures (callers that want exceptions can
+/// wrap a DiagnosticEngine check in throw_if_errors()).
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws CompileError carrying the engine's dump if any error was reported.
+void throw_if_errors(const DiagnosticEngine& diags, const std::string& phase);
+
+}  // namespace autocfd

@@ -1,0 +1,29 @@
+// Small string helpers shared across the pre-compiler. Fortran is case
+// insensitive, so identifier handling funnels through to_lower().
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autocfd {
+
+/// ASCII lower-casing (Fortran identifiers are case insensitive).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Strip leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are kept.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on any whitespace run; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+[[nodiscard]] bool starts_with_ci(std::string_view s, std::string_view prefix);
+
+/// Join with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+}  // namespace autocfd

@@ -1,0 +1,107 @@
+#include "autocfd/sync/combine.hpp"
+
+#include <algorithm>
+
+namespace autocfd::sync {
+
+namespace {
+
+std::vector<int> intersect(const std::vector<int>& a,
+                           const std::vector<int>& b) {
+  std::vector<int> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<const SyncRegion*> sorted_valid(
+    const std::vector<SyncRegion>& regions) {
+  std::vector<const SyncRegion*> out;
+  for (const auto& r : regions) {
+    if (r.valid()) out.push_back(&r);
+  }
+  std::sort(out.begin(), out.end(), [](const SyncRegion* a,
+                                       const SyncRegion* b) {
+    if (a->first_slot() != b->first_slot()) {
+      return a->first_slot() < b->first_slot();
+    }
+    return a->slots.back() < b->slots.back();
+  });
+  return out;
+}
+
+}  // namespace
+
+int choose_slot(const InlinedProgram& prog,
+                const std::vector<int>& intersection) {
+  int best = -1;
+  for (const int s : intersection) {
+    if (best < 0) {
+      best = s;
+      continue;
+    }
+    const auto& cand = prog.slot(s);
+    const auto& cur = prog.slot(best);
+    if (cand.call_depth() < cur.call_depth() ||
+        (cand.call_depth() == cur.call_depth() &&
+         cand.ordinal > cur.ordinal)) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::vector<CombinedSync> combine_min(const InlinedProgram& prog,
+                                      const std::vector<SyncRegion>& regions) {
+  std::vector<CombinedSync> out;
+  CombinedSync current;
+  for (const auto* r : sorted_valid(regions)) {
+    if (current.members.empty()) {
+      current.members = {r};
+      current.intersection = r->slots;
+      continue;
+    }
+    auto next = intersect(current.intersection, r->slots);
+    if (next.empty()) {
+      current.chosen_slot = choose_slot(prog, current.intersection);
+      out.push_back(std::move(current));
+      current = {};
+      current.members = {r};
+      current.intersection = r->slots;
+    } else {
+      current.members.push_back(r);
+      current.intersection = std::move(next);
+    }
+  }
+  if (!current.members.empty()) {
+    current.chosen_slot = choose_slot(prog, current.intersection);
+    out.push_back(std::move(current));
+  }
+  return out;
+}
+
+std::vector<CombinedSync> combine_pairwise(
+    const InlinedProgram& prog, const std::vector<SyncRegion>& regions) {
+  std::vector<CombinedSync> out;
+  const auto sorted = sorted_valid(regions);
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    CombinedSync group;
+    group.members = {sorted[i]};
+    group.intersection = sorted[i]->slots;
+    if (i + 1 < sorted.size()) {
+      const auto next = intersect(group.intersection, sorted[i + 1]->slots);
+      if (!next.empty()) {
+        group.members.push_back(sorted[i + 1]);
+        group.intersection = next;
+        ++i;
+      }
+    }
+    group.chosen_slot = choose_slot(prog, group.intersection);
+    out.push_back(std::move(group));
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace autocfd::sync

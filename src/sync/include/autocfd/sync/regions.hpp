@@ -1,0 +1,43 @@
+// Upper-bound synchronization regions (paper sections 5.1.1, 5.2, 5.3).
+//
+// For a dependent pair L^A -> L^R the synchronization point may legally
+// go anywhere after L^A and before L^R. The *upper-bound* region
+// additionally
+//   * hoists the starting point out of enclosing loops that contain no
+//     halo-reader of the dependent array (Figure 5),
+//   * hoists it out of if-branches (section 5.2 rule 3, including the
+//     Figure 7(e) case of a reader in the opposite branch) and out of
+//     subroutines when no reader follows inside (section 5.3),
+//   * ends before the reader loop, before any goto (rule 1), before any
+//     branch or call whose body reads the array with a halo (rule 2 and
+//     the install-before-call rule of 5.3),
+//   * excludes slots inside unrelated loops and branches, and
+//   * for wrap-around pairs covers the two legal segments around the
+//     back edge of the carrying loop.
+#pragma once
+
+#include <vector>
+
+#include "autocfd/depend/dep_pairs.hpp"
+#include "autocfd/sync/inlined.hpp"
+
+namespace autocfd::sync {
+
+struct SyncRegion {
+  const depend::LoopDependence* pair = nullptr;
+  std::vector<int> slots;  // sorted slot ordinals
+
+  [[nodiscard]] bool valid() const { return !slots.empty(); }
+  [[nodiscard]] int first_slot() const { return slots.front(); }
+};
+
+/// Builds the upper-bound region for one pair. Returns an empty-slot
+/// region if the pair's sites cannot be located (diagnosed upstream).
+[[nodiscard]] SyncRegion build_region(const InlinedProgram& prog,
+                                      const depend::LoopDependence& pair);
+
+/// Regions for every communication-carrying pair of the set.
+[[nodiscard]] std::vector<SyncRegion> build_regions(
+    const InlinedProgram& prog, const depend::DependenceSet& deps);
+
+}  // namespace autocfd::sync

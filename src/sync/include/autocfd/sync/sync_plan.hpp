@@ -1,0 +1,62 @@
+// The complete synchronization plan for one program under one
+// partition: upper-bound regions for every communication-carrying
+// dependence (including the pre-sweep old-value exchanges that
+// mirror-image decomposition introduces for self-dependent loops),
+// the minimal combined synchronization points, and the pipeline plans
+// for the flow half of each mirror-image decomposition.
+//
+// syncs_before()/syncs_after() are the two columns of the paper's
+// Table 1.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "autocfd/depend/self_dep.hpp"
+#include "autocfd/sync/combine.hpp"
+#include "autocfd/sync/regions.hpp"
+
+namespace autocfd::sync {
+
+/// How synchronization points are chosen from the upper-bound regions.
+enum class CombineStrategy {
+  Min,       // the paper's minimal-intersection algorithm (default)
+  Pairwise,  // Figure 6(c)'s non-optimal baseline
+  None,      // one synchronization per dependence pair (ablation)
+};
+
+struct PipelinePlan {
+  const depend::TraceSite* site = nullptr;
+  depend::MirrorImagePlan plan;
+};
+
+class SyncPlan {
+ public:
+  std::vector<SyncRegion> regions;
+  std::vector<CombinedSync> points;
+  std::vector<PipelinePlan> pipelines;
+
+  [[nodiscard]] int syncs_before() const {
+    return static_cast<int>(regions.size());
+  }
+  [[nodiscard]] int syncs_after() const {
+    return static_cast<int>(points.size());
+  }
+  [[nodiscard]] double optimization_percent() const;
+
+  /// Aggregated halo content of one combined point: per dependent
+  /// array, the element-wise maximum of the member pairs' halos.
+  [[nodiscard]] static std::vector<fortran::HaloSpec> halos_for(
+      const CombinedSync& point);
+
+  /// Storage for the synthetic pre-sweep pairs of self-dependent loops
+  /// (they have no LoopDependence in the DependenceSet).
+  std::vector<std::unique_ptr<depend::LoopDependence>> synthetic_pairs;
+};
+
+[[nodiscard]] SyncPlan plan_synchronization(
+    const InlinedProgram& prog, const depend::DependenceSet& deps,
+    const partition::PartitionSpec& spec,
+    CombineStrategy strategy = CombineStrategy::Min);
+
+}  // namespace autocfd::sync

@@ -1,0 +1,163 @@
+#include "autocfd/sync/regions.hpp"
+
+#include <algorithm>
+
+namespace autocfd::sync {
+
+using fortran::StmtKind;
+
+namespace {
+
+/// Any node in block[from..to) whose subtree reads `array` with a halo.
+bool reader_in_range(const INodeList& block, int from, int to,
+                     const std::string& array) {
+  for (int i = from; i < to && i < static_cast<int>(block.size()); ++i) {
+    if (block[static_cast<std::size_t>(i)].halo_reads.contains(array)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct RegionBuilder {
+  const InlinedProgram* prog;
+  const depend::LoopDependence* pair;
+  const INode* reader_node;
+
+  /// Hoists the starting point (block, index) outward as far as legal.
+  /// `stop_at` (may be null) is the loop the region must stay inside —
+  /// the wrap-carrying loop for wrap-around pairs.
+  std::pair<const INodeList*, int> hoist_start(const INodeList* block,
+                                               int index,
+                                               const fortran::Stmt* stop_at) {
+    while (true) {
+      const auto pos = prog->position_of_block(*block);
+      const INode* owner = pos.owner;
+      if (!owner) return {block, index};  // main top level
+      if (owner->stmt == stop_at) return {block, index};
+
+      const auto owner_pos = prog->position_of(*owner);
+      switch (owner->stmt->kind) {
+        case StmtKind::Do: {
+          // Figure 5: a reader of the array anywhere in the loop pins
+          // the region inside (the reader re-executes every iteration).
+          if (reader_in_range(*block, 0, static_cast<int>(block->size()),
+                              pair->array)) {
+            return {block, index};
+          }
+          break;
+        }
+        case StmtKind::If: {
+          // Section 5.2 rule 3 / Figure 7(e): only a reader in the
+          // *same* branch after the write blocks hoisting; the opposite
+          // branch cannot execute together with the write.
+          if (reader_in_range(*block, index, static_cast<int>(block->size()),
+                              pair->array)) {
+            return {block, index};
+          }
+          break;
+        }
+        case StmtKind::Call: {
+          // Section 5.3: a region reaching the end of a subroutine can
+          // move out to the caller unless a reader follows inside.
+          if (reader_in_range(*block, index, static_cast<int>(block->size()),
+                              pair->array)) {
+            return {block, index};
+          }
+          break;
+        }
+        default:
+          return {block, index};
+      }
+      block = owner_pos.block;
+      index = owner_pos.index + 1;  // slot right after the owner stmt
+      if (!block) return {nullptr, 0};
+    }
+  }
+
+  /// Walks forward from (block, index), collecting legal slots until a
+  /// stop condition; extends out of subroutine bodies and if-branches,
+  /// ends at the end of loop bodies (Figure 5(b) case 2).
+  void walk_forward(const INodeList* block, int index,
+                    const fortran::Stmt* stay_inside, std::vector<int>& out) {
+    while (true) {
+      out.push_back(prog->slot_ordinal(*block, index));
+      if (index == static_cast<int>(block->size())) {
+        const auto pos = prog->position_of_block(*block);
+        const INode* owner = pos.owner;
+        if (!owner || owner->stmt == stay_inside) return;
+        if (owner->stmt->kind == StmtKind::Do) return;  // end of loop body
+        // Call bodies and if-branches: the region continues after the
+        // owning statement in the parent block (5.3 / 5.2).
+        const auto owner_pos = prog->position_of(*owner);
+        block = owner_pos.block;
+        index = owner_pos.index + 1;
+        continue;
+      }
+      const INode& node = (*block)[static_cast<std::size_t>(index)];
+      if (&node == reader_node) return;               // before L^R
+      if (node.halo_reads.contains(pair->array)) return;  // other reader
+      if (node.has_goto) return;                      // 5.2 rule 1
+      ++index;  // unrelated stmt/loop/branch: excluded, slot after next
+    }
+  }
+
+  SyncRegion build() {
+    SyncRegion region;
+    region.pair = pair;
+    const INode* writer_node = prog->node_for_site(*pair->writer);
+    if (!writer_node || !reader_node) return region;
+
+    const auto wpos = prog->position_of(*writer_node);
+    if (!wpos.block) return region;
+
+    if (!pair->wraps) {
+      auto [blk, idx] =
+          hoist_start(wpos.block, wpos.index + 1, /*stop_at=*/nullptr);
+      if (blk) walk_forward(blk, idx, nullptr, region.slots);
+    } else {
+      // Segment A: after the writer, forward to the end of the
+      // wrap-carrying loop body (hoisting stays inside it).
+      auto [blk, idx] =
+          hoist_start(wpos.block, wpos.index + 1, pair->wrap_loop);
+      if (blk) walk_forward(blk, idx, pair->wrap_loop, region.slots);
+      // Segment B: from the start of the wrap loop body to the reader.
+      const INode* wrap_node = nullptr;
+      for (const INode* n = reader_node;;) {
+        const auto pos = prog->position_of(*n);
+        if (!pos.owner) break;
+        if (pos.owner->stmt == pair->wrap_loop) {
+          wrap_node = pos.owner;
+          break;
+        }
+        n = pos.owner;
+      }
+      if (wrap_node) {
+        walk_forward(&wrap_node->body, 0, pair->wrap_loop, region.slots);
+      }
+    }
+    std::sort(region.slots.begin(), region.slots.end());
+    region.slots.erase(std::unique(region.slots.begin(), region.slots.end()),
+                       region.slots.end());
+    return region;
+  }
+};
+
+}  // namespace
+
+SyncRegion build_region(const InlinedProgram& prog,
+                        const depend::LoopDependence& pair) {
+  RegionBuilder b{&prog, &pair, prog.node_for_site(*pair.reader)};
+  return b.build();
+}
+
+std::vector<SyncRegion> build_regions(const InlinedProgram& prog,
+                                      const depend::DependenceSet& deps) {
+  std::vector<SyncRegion> out;
+  for (const auto* pair : deps.sync_pairs()) {
+    out.push_back(build_region(prog, *pair));
+  }
+  return out;
+}
+
+}  // namespace autocfd::sync

@@ -1,0 +1,108 @@
+#include "autocfd/sync/sync_plan.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace autocfd::sync {
+
+double SyncPlan::optimization_percent() const {
+  if (regions.empty()) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(points.size()) /
+                            static_cast<double>(regions.size()));
+}
+
+std::vector<fortran::HaloSpec> SyncPlan::halos_for(const CombinedSync& point) {
+  std::map<std::string, partition::HaloWidths> merged;
+  for (const auto* region : point.members) {
+    auto& h = merged[region->pair->array];
+    h = partition::HaloWidths::merge(h, region->pair->halo);
+  }
+  std::vector<fortran::HaloSpec> out;
+  out.reserve(merged.size());
+  for (const auto& [array, halo] : merged) {
+    fortran::HaloSpec spec;
+    spec.array = array;
+    spec.lo_width = halo.lo;
+    spec.hi_width = halo.hi;
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<CombinedSync> combine_none(const InlinedProgram& prog,
+                                       const std::vector<SyncRegion>& regions) {
+  std::vector<CombinedSync> out;
+  for (const auto& r : regions) {
+    if (!r.valid()) continue;
+    CombinedSync point;
+    point.members = {&r};
+    point.intersection = r.slots;
+    point.chosen_slot = choose_slot(prog, r.slots);
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+}  // namespace
+
+SyncPlan plan_synchronization(const InlinedProgram& prog,
+                              const depend::DependenceSet& deps,
+                              const partition::PartitionSpec& spec,
+                              CombineStrategy strategy) {
+  SyncPlan plan;
+  plan.regions = build_regions(prog, deps);
+
+  // Self-dependent loops: mirror-image decomposition. The flow half
+  // becomes a pipeline plan; the anti half (old-value reads) becomes a
+  // synthetic wrap-around dependence whose pre-sweep exchange joins the
+  // ordinary regions and is combined with them.
+  for (const auto* self : deps.self_pairs()) {
+    const auto mi = depend::analyze_self_dependence(*self->reader->loop,
+                                                    self->array, spec);
+    if (!mi.pipeline_dims.empty()) {
+      plan.pipelines.push_back(PipelinePlan{self->reader, mi});
+    }
+    if (mi.pre_halo.any()) {
+      auto pair = std::make_unique<depend::LoopDependence>();
+      pair->writer = self->writer;
+      pair->reader = self->reader;
+      pair->array = self->array;
+      pair->halo = mi.pre_halo;
+      pair->self = false;  // now an ordinary slot-placed exchange
+      // Wrap around the innermost enclosing loop if there is one; a
+      // one-shot sweep gets its old halo from the exchange that the
+      // restructurer emits after initialization.
+      const fortran::Stmt* wrap = nullptr;
+      for (const auto* c : self->reader->context) {
+        if (c->kind == fortran::StmtKind::Do) wrap = c;
+      }
+      if (wrap) {
+        pair->wraps = true;
+        pair->wrap_loop = wrap;
+        plan.regions.push_back(build_region(prog, *pair));
+        plan.synthetic_pairs.push_back(std::move(pair));
+      }
+      // If there is no enclosing loop the initial exchange suffices and
+      // no per-frame synchronization point is needed at all.
+    }
+    // FlowOnly self-dependences with a pipeline plan need no slot sync:
+    // the pipelined receive delivers the updated boundary in-loop.
+  }
+
+  switch (strategy) {
+    case CombineStrategy::Min:
+      plan.points = combine_min(prog, plan.regions);
+      break;
+    case CombineStrategy::Pairwise:
+      plan.points = combine_pairwise(prog, plan.regions);
+      break;
+    case CombineStrategy::None:
+      plan.points = combine_none(prog, plan.regions);
+      break;
+  }
+  return plan;
+}
+
+}  // namespace autocfd::sync

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "autocfd/fortran/parser.hpp"
+#include "autocfd/ir/call_graph.hpp"
+
+namespace autocfd::ir {
+namespace {
+
+using fortran::parse_source;
+
+TEST(CallGraph, CollectsCallSites) {
+  const auto file = parse_source(
+      "program main\n"
+      "call a\n"
+      "call a\n"
+      "call b\n"
+      "end\n"
+      "subroutine a\n"
+      "return\n"
+      "end\n"
+      "subroutine b\n"
+      "call a\n"
+      "return\n"
+      "end\n");
+  DiagnosticEngine diags;
+  const auto g = CallGraph::build(file, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.dump();
+  EXPECT_EQ(g.call_sites().size(), 4u);
+  EXPECT_EQ(g.calls_from("main").size(), 3u);
+  EXPECT_EQ(g.calls_to("a").size(), 3u);
+}
+
+TEST(CallGraph, BottomUpOrder) {
+  const auto file = parse_source(
+      "program main\n"
+      "call b\n"
+      "end\n"
+      "subroutine a\n"
+      "return\n"
+      "end\n"
+      "subroutine b\n"
+      "call a\n"
+      "return\n"
+      "end\n");
+  DiagnosticEngine diags;
+  const auto g = CallGraph::build(file, diags);
+  const auto& order = g.bottom_up_order();
+  const auto pos = [&](std::string_view n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos("a"), pos("b"));
+  EXPECT_LT(pos("b"), pos("main"));
+}
+
+TEST(CallGraph, UndefinedCalleeIsError) {
+  const auto file = parse_source(
+      "program main\n"
+      "call ghost\n"
+      "end\n");
+  DiagnosticEngine diags;
+  (void)CallGraph::build(file, diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(CallGraph, RecursionIsDetected) {
+  const auto file = parse_source(
+      "program main\n"
+      "call a\n"
+      "end\n"
+      "subroutine a\n"
+      "call b\n"
+      "return\n"
+      "end\n"
+      "subroutine b\n"
+      "call a\n"
+      "return\n"
+      "end\n");
+  DiagnosticEngine diags;
+  const auto g = CallGraph::build(file, diags);
+  EXPECT_TRUE(g.has_recursion());
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(CallGraph, CallsInsideLoopsAndBranches) {
+  const auto file = parse_source(
+      "program main\n"
+      "integer i\n"
+      "real x\n"
+      "do i = 1, 10\n"
+      "  if (x .gt. 0.0) then\n"
+      "    call a\n"
+      "  end if\n"
+      "end do\n"
+      "end\n"
+      "subroutine a\n"
+      "return\n"
+      "end\n");
+  DiagnosticEngine diags;
+  const auto g = CallGraph::build(file, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.dump();
+  EXPECT_EQ(g.calls_from("main").size(), 1u);
+}
+
+}  // namespace
+}  // namespace autocfd::ir

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "autocfd/mp/cluster.hpp"
+
+namespace autocfd::mp {
+namespace {
+
+TEST(MachineModel, MemoryFactorRegimes) {
+  MachineConfig cfg;
+  cfg.cache_bytes = 1000;
+  cfg.memory_bytes = 100000;
+  EXPECT_DOUBLE_EQ(cfg.memory_factor(500), cfg.cache_factor);
+  EXPECT_DOUBLE_EQ(cfg.memory_factor(1000), cfg.cache_factor);
+  EXPECT_GT(cfg.memory_factor(1500), cfg.cache_factor);
+  EXPECT_LT(cfg.memory_factor(1500), cfg.ram_factor);
+  // Graded curve: halving the working set inside the RAM regime
+  // reduces the per-op cost (the Table 5 superlinear mechanism).
+  EXPECT_LT(cfg.memory_factor(50000), cfg.memory_factor(100000));
+  EXPECT_DOUBLE_EQ(cfg.memory_factor(100000), cfg.ram_factor);
+  EXPECT_DOUBLE_EQ(cfg.memory_factor(1000000), cfg.thrash_factor);
+  // Monotone non-decreasing across the whole range.
+  double prev = 0.0;
+  for (long long ws = 100; ws <= 500000; ws += 100) {
+    const double f = cfg.memory_factor(ws);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(MachineModel, MessageTime) {
+  MachineConfig cfg;
+  cfg.net_latency = 1e-3;
+  cfg.net_byte_time = 1e-6;
+  EXPECT_DOUBLE_EQ(cfg.message_time(0), 1e-3);
+  EXPECT_DOUBLE_EQ(cfg.message_time(1000), 2e-3);
+}
+
+TEST(ClusterRun, PingPongDeliversData) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  std::vector<double> received;
+  auto result = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, {1.0, 2.0, 3.0});
+    } else {
+      received = comm.recv(0, 7);
+    }
+  });
+  EXPECT_EQ(received, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(result.ranks[0].messages_sent, 1);
+  EXPECT_EQ(result.ranks[0].bytes_sent, 24);
+}
+
+TEST(ClusterRun, VirtualTimeIsDeterministic) {
+  // Run the same program several times: virtual times must be
+  // bit-identical no matter how the host schedules the threads.
+  const auto program = [](Comm& comm) {
+    comm.add_compute(0.5e-3 * (comm.rank() + 1));
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<double>(100, 1.0));
+    } else if (comm.rank() == 1) {
+      (void)comm.recv(0, 0);
+    }
+    (void)comm.allreduce_max(static_cast<double>(comm.rank()));
+  };
+  Cluster cluster(4, MachineConfig::pentium_ethernet_1999());
+  const auto first = cluster.run(program);
+  for (int i = 0; i < 5; ++i) {
+    const auto again = cluster.run(program);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_DOUBLE_EQ(again.ranks[static_cast<std::size_t>(r)].total_time(),
+                       first.ranks[static_cast<std::size_t>(r)].total_time());
+    }
+  }
+}
+
+TEST(ClusterRun, RecvWaitsForSenderClock) {
+  // Receiver is idle; sender computes 10 ms first. The receive must
+  // complete no earlier than the sender's departure plus transfer.
+  MachineConfig cfg;
+  cfg.net_latency = 1e-3;
+  cfg.net_byte_time = 0.0;
+  Cluster cluster(2, cfg);
+  double recv_clock = 0.0;
+  (void)cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.add_compute(10e-3);
+      comm.send(1, 0, {42.0});
+    } else {
+      (void)comm.recv(0, 0);
+      recv_clock = comm.now();
+    }
+  });
+  EXPECT_NEAR(recv_clock, 11e-3, 1e-9);
+}
+
+TEST(ClusterRun, SendIsBlockingStoreAndForward) {
+  MachineConfig cfg;
+  cfg.net_latency = 2e-3;
+  cfg.net_byte_time = 1e-6;
+  Cluster cluster(2, cfg);
+  double sender_clock = 0.0;
+  (void)cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<double>(125, 0.0));  // 1000 bytes
+      sender_clock = comm.now();
+    } else {
+      (void)comm.recv(0, 0);
+    }
+  });
+  EXPECT_NEAR(sender_clock, 3e-3, 1e-9);  // alpha + 1000 * beta
+}
+
+TEST(ClusterRun, SendRecvExchanges) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  std::vector<double> got0, got1;
+  (void)cluster.run([&](Comm& comm) {
+    const double me = static_cast<double>(comm.rank());
+    auto got = comm.sendrecv(1 - comm.rank(), 3, {me, me});
+    if (comm.rank() == 0) {
+      got0 = got;
+    } else {
+      got1 = got;
+    }
+  });
+  EXPECT_EQ(got0, (std::vector<double>{1.0, 1.0}));
+  EXPECT_EQ(got1, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(ClusterRun, AllReduceMaxAndSum) {
+  Cluster cluster(5, MachineConfig::pentium_ethernet_1999());
+  std::vector<double> maxes(5), sums(5);
+  (void)cluster.run([&](Comm& comm) {
+    const double v = static_cast<double>(comm.rank() + 1);
+    maxes[static_cast<std::size_t>(comm.rank())] = comm.allreduce_max(v);
+  });
+  (void)cluster.run([&](Comm& comm) {
+    const double v = static_cast<double>(comm.rank() + 1);
+    sums[static_cast<std::size_t>(comm.rank())] = comm.allreduce_sum(v);
+  });
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_DOUBLE_EQ(maxes[static_cast<std::size_t>(r)], 5.0);
+    EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(r)], 15.0);
+  }
+}
+
+TEST(ClusterRun, AllReduceSynchronizesClocks) {
+  Cluster cluster(3, MachineConfig::pentium_ethernet_1999());
+  std::vector<double> clocks(3);
+  (void)cluster.run([&](Comm& comm) {
+    comm.add_compute(1e-3 * (comm.rank() + 1));
+    (void)comm.allreduce_max(0.0);
+    clocks[static_cast<std::size_t>(comm.rank())] = comm.now();
+  });
+  EXPECT_DOUBLE_EQ(clocks[0], clocks[1]);
+  EXPECT_DOUBLE_EQ(clocks[1], clocks[2]);
+  EXPECT_GE(clocks[0], 3e-3);  // at least the slowest rank's compute
+}
+
+TEST(ClusterRun, BarrierCompletes) {
+  Cluster cluster(4, MachineConfig::pentium_ethernet_1999());
+  std::vector<int> after(4, 0);
+  (void)cluster.run([&](Comm& comm) {
+    comm.barrier();
+    after[static_cast<std::size_t>(comm.rank())] = 1;
+    comm.barrier();
+  });
+  EXPECT_EQ(std::accumulate(after.begin(), after.end(), 0), 4);
+}
+
+TEST(ClusterRun, TagsMatchOutOfOrder) {
+  // Two messages with different tags; receiver asks for the second tag
+  // first. MPI matching must pick by tag, not arrival order.
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  std::vector<double> a, b;
+  (void)cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, {1.0});
+      comm.send(1, 2, {2.0});
+    } else {
+      b = comm.recv(0, 2);
+      a = comm.recv(0, 1);
+    }
+  });
+  EXPECT_EQ(a, std::vector<double>{1.0});
+  EXPECT_EQ(b, std::vector<double>{2.0});
+}
+
+TEST(ClusterRun, MultipleRunsAreIndependent) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  (void)cluster.run([](Comm& comm) { comm.add_compute(1.0); });
+  const auto second = cluster.run([](Comm& comm) { comm.add_compute(0.5); });
+  EXPECT_DOUBLE_EQ(second.ranks[0].compute_time, 0.5);
+}
+
+TEST(ClusterRun, ExceptionPropagates) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+                 if (comm.rank() == 1) throw std::runtime_error("rank died");
+               }),
+               std::runtime_error);
+}
+
+TEST(ClusterRun, InvalidRankThrows) {
+  EXPECT_THROW(Cluster(0, MachineConfig{}), std::invalid_argument);
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+                 if (comm.rank() == 0) comm.send(5, 0, {1.0});
+               }),
+               std::out_of_range);
+}
+
+TEST(ClusterRun, ElapsedIsSlowest) {
+  Cluster cluster(3, MachineConfig::pentium_ethernet_1999());
+  const auto result = cluster.run([](Comm& comm) {
+    comm.add_compute(1e-3 * (comm.rank() + 1));
+  });
+  EXPECT_DOUBLE_EQ(result.elapsed(), 3e-3);
+}
+
+
+TEST(ClusterRun, ChunkedSendPaysPerMessageLatency) {
+  MachineConfig cfg;
+  cfg.net_latency = 1e-3;
+  cfg.net_byte_time = 0.0;
+  Cluster cluster(2, cfg);
+  double sender_clock = 0.0;
+  long long msgs = 0;
+  auto result = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_chunked(1, 0, std::vector<double>(10, 0.0), 50);
+      sender_clock = comm.now();
+    } else {
+      (void)comm.recv(0, 0);
+    }
+  });
+  msgs = result.ranks[0].messages_sent;
+  EXPECT_NEAR(sender_clock, 50e-3, 1e-9);  // 50 x latency
+  EXPECT_EQ(msgs, 50);
+}
+
+TEST(ClusterRun, CommTimePlusComputeEqualsClock) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  std::vector<double> clocks(2);
+  auto result = cluster.run([&](Comm& comm) {
+    comm.add_compute(1e-3);
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<double>(64, 1.0));
+    } else {
+      (void)comm.recv(0, 0);
+    }
+    clocks[static_cast<std::size_t>(comm.rank())] = comm.now();
+  });
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_DOUBLE_EQ(result.ranks[static_cast<std::size_t>(r)].total_time(),
+                     clocks[static_cast<std::size_t>(r)]);
+  }
+}
+
+}  // namespace
+}  // namespace autocfd::mp

@@ -1,0 +1,119 @@
+// Property test for the paper's section-5.1.2 claim: the sorted greedy
+// intersection algorithm produces the *minimum* number of combined
+// synchronization points. We verify combine_min against a brute-force
+// optimal stabbing on random interval families, and check the combining
+// invariants (every region covered, every chosen point inside all of
+// its members).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "autocfd/fortran/parser.hpp"
+#include "autocfd/sync/combine.hpp"
+#include "autocfd/sync/sync_plan.hpp"
+
+namespace autocfd::sync {
+namespace {
+
+/// Minimum number of points stabbing every [lo, hi] interval, by
+/// exhaustive search over point subsets of the (small) slot universe.
+int brute_force_min_points(const std::vector<std::pair<int, int>>& intervals,
+                           int universe) {
+  for (int k = 1; k <= static_cast<int>(intervals.size()); ++k) {
+    // Enumerate k-subsets of [0, universe) via combinations.
+    std::vector<int> pick(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) pick[static_cast<std::size_t>(i)] = i;
+    while (true) {
+      const bool all_stabbed = std::all_of(
+          intervals.begin(), intervals.end(), [&](const auto& iv) {
+            return std::any_of(pick.begin(), pick.end(), [&](int p) {
+              return iv.first <= p && p <= iv.second;
+            });
+          });
+      if (all_stabbed) return k;
+      // next combination
+      int i = k - 1;
+      while (i >= 0 &&
+             pick[static_cast<std::size_t>(i)] == universe - k + i) {
+        --i;
+      }
+      if (i < 0) break;
+      ++pick[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < k; ++j) {
+        pick[static_cast<std::size_t>(j)] =
+            pick[static_cast<std::size_t>(j - 1)] + 1;
+      }
+    }
+  }
+  return static_cast<int>(intervals.size());
+}
+
+struct Fixture {
+  fortran::SourceFile file;
+  depend::ProgramTrace trace;
+  InlinedProgram prog;
+
+  explicit Fixture(int slots) {
+    std::string src = "program p\nreal x\n";
+    for (int i = 0; i < slots; ++i) src += "x = x + 1.0\n";
+    src += "end\n";
+    file = fortran::parse_source(src);
+    DiagnosticEngine diags;
+    std::map<std::string, std::vector<ir::FieldLoop>> none;
+    trace = depend::ProgramTrace::build(file, none, diags);
+    prog = InlinedProgram::build(file, trace, partition::PartitionSpec{{2}},
+                                 diags);
+  }
+};
+
+class CombineMinimality : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CombineMinimality, GreedyMatchesBruteForce) {
+  std::mt19937 rng(GetParam());
+  const int universe = 14;
+  Fixture f(universe);  // provides >= `universe` slots
+
+  std::uniform_int_distribution<int> n_dist(1, 9);
+  std::uniform_int_distribution<int> lo_dist(0, universe - 1);
+  std::uniform_int_distribution<int> len_dist(0, 6);
+
+  const int n = n_dist(rng);
+  std::vector<std::pair<int, int>> intervals;
+  std::vector<SyncRegion> regions;
+  for (int i = 0; i < n; ++i) {
+    const int lo = lo_dist(rng);
+    const int hi = std::min(universe - 1, lo + len_dist(rng));
+    intervals.emplace_back(lo, hi);
+    SyncRegion r;
+    for (int s = lo; s <= hi; ++s) r.slots.push_back(s);
+    regions.push_back(std::move(r));
+  }
+
+  const auto points = combine_min(f.prog, regions);
+  const int expected = brute_force_min_points(intervals, universe);
+  EXPECT_EQ(static_cast<int>(points.size()), expected)
+      << "seed " << GetParam();
+
+  // Invariants: every region appears in exactly one group, and the
+  // chosen point lies in every member region.
+  std::size_t covered = 0;
+  for (const auto& p : points) {
+    covered += p.members.size();
+    for (const auto* m : p.members) {
+      EXPECT_NE(std::find(m->slots.begin(), m->slots.end(), p.chosen_slot),
+                m->slots.end());
+    }
+  }
+  EXPECT_EQ(covered, regions.size());
+
+  // The pairwise baseline is never better than the minimal strategy.
+  const auto pairwise = combine_pairwise(f.prog, regions);
+  EXPECT_GE(pairwise.size(), points.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombineMinimality,
+                         ::testing::Range(1u, 41u));
+
+}  // namespace
+}  // namespace autocfd::sync

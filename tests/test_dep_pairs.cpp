@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include "autocfd/depend/dep_pairs.hpp"
+#include "autocfd/fortran/parser.hpp"
+
+namespace autocfd::depend {
+namespace {
+
+struct Analyzed {
+  fortran::SourceFile file;
+  std::map<std::string, std::vector<ir::FieldLoop>> loops;
+  ProgramTrace trace;
+};
+
+Analyzed analyze(const std::string& src, const ir::FieldConfig& cfg) {
+  Analyzed a;
+  a.file = fortran::parse_source(src);
+  DiagnosticEngine diags;
+  for (const auto& unit : a.file.units) {
+    a.loops[unit.name] = ir::analyze_field_loops(unit, cfg, diags);
+  }
+  a.trace = ProgramTrace::build(a.file, a.loops, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  return a;
+}
+
+ir::FieldConfig cfg2d() {
+  ir::FieldConfig c;
+  c.grid_rank = 2;
+  c.status_arrays = {"v", "w", "vold"};
+  return c;
+}
+
+constexpr const char* kJacobiFrame = R"(
+program p
+parameter (n = 16, m = 16)
+real v(n, m), vold(n, m)
+real errmax
+integer i, j, it
+do it = 1, 50
+  do i = 2, n - 1
+    do j = 2, m - 1
+      vold(i, j) = v(i, j)
+    end do
+  end do
+  do i = 2, n - 1
+    do j = 2, m - 1
+      v(i, j) = 0.25 * (vold(i - 1, j) + vold(i + 1, j) &
+              + vold(i, j - 1) + vold(i, j + 1))
+    end do
+  end do
+end do
+end
+)";
+
+TEST(ProgramTraceTest, SitesInExecutionOrder) {
+  const auto a = analyze(kJacobiFrame, cfg2d());
+  ASSERT_EQ(a.trace.sites().size(), 2u);
+  EXPECT_EQ(a.trace.sites()[0].loop->type_for("vold"), ir::LoopType::A);
+  EXPECT_EQ(a.trace.sites()[1].loop->type_for("vold"), ir::LoopType::R);
+  // Both sit inside the frame loop: one common context entry.
+  EXPECT_EQ(a.trace.sites()[0].context.size(), 1u);
+  EXPECT_EQ(ProgramTrace::common_loop(a.trace.sites()[0], a.trace.sites()[1]),
+            a.trace.sites()[0].context[0]);
+}
+
+TEST(ProgramTraceTest, InlinesSubroutineCalls) {
+  const auto a = analyze(
+      "program p\n"
+      "real v(8, 8)\n"
+      "common /f/ v\n"
+      "integer it\n"
+      "do it = 1, 10\n"
+      "  call sweep\n"
+      "  call sweep\n"
+      "end do\n"
+      "end\n"
+      "subroutine sweep\n"
+      "real v(8, 8)\n"
+      "common /f/ v\n"
+      "integer i, j\n"
+      "do i = 2, 7\n"
+      "  do j = 2, 7\n"
+      "    v(i, j) = v(i, j) + 1.0\n"
+      "  end do\n"
+      "end do\n"
+      "return\n"
+      "end\n",
+      cfg2d());
+  // Two call sites -> two occurrences of the same field loop.
+  ASSERT_EQ(a.trace.sites().size(), 2u);
+  EXPECT_EQ(a.trace.sites()[0].loop, a.trace.sites()[1].loop);
+  EXPECT_NE(a.trace.sites()[0].context, a.trace.sites()[1].context);
+}
+
+TEST(ProgramTraceTest, CallInsideFieldLoopIsError) {
+  auto file = fortran::parse_source(
+      "program p\n"
+      "real v(8, 8)\n"
+      "integer i, j\n"
+      "do i = 1, 8\n"
+      "  do j = 1, 8\n"
+      "    v(i, j) = 0.0\n"
+      "  end do\n"
+      "  call helper\n"
+      "end do\n"
+      "end\n"
+      "subroutine helper\n"
+      "return\n"
+      "end\n");
+  DiagnosticEngine diags;
+  std::map<std::string, std::vector<ir::FieldLoop>> loops;
+  for (const auto& unit : file.units) {
+    loops[unit.name] = ir::analyze_field_loops(unit, cfg2d(), diags);
+  }
+  (void)ProgramTrace::build(file, loops, diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(HaloForReads, OffsetsOnlyOnCutDims) {
+  const auto a = analyze(kJacobiFrame, cfg2d());
+  const auto& reader = *a.trace.sites()[1].loop;
+  const auto& info = reader.arrays.at("vold");
+
+  const auto h_x = halo_for_reads(reader, info, partition::PartitionSpec{{4, 1}});
+  EXPECT_EQ(h_x.lo, (std::vector<int>{1, 0}));
+  EXPECT_EQ(h_x.hi, (std::vector<int>{1, 0}));
+
+  const auto h_y = halo_for_reads(reader, info, partition::PartitionSpec{{1, 4}});
+  EXPECT_EQ(h_y.lo, (std::vector<int>{0, 1}));
+
+  const auto h_xy =
+      halo_for_reads(reader, info, partition::PartitionSpec{{2, 2}});
+  EXPECT_EQ(h_xy.lo, (std::vector<int>{1, 1}));
+}
+
+TEST(HaloForReads, DependencyDistanceTwo) {
+  const auto a = analyze(
+      "program p\n"
+      "real v(16, 16), w(16, 16)\n"
+      "integer i, j\n"
+      "do i = 3, 14\n"
+      "  do j = 3, 14\n"
+      "    w(i, j) = v(i - 2, j) + v(i, j + 1)\n"
+      "  end do\n"
+      "end do\n"
+      "end\n",
+      cfg2d());
+  const auto& loop = *a.trace.sites()[0].loop;
+  const auto h =
+      halo_for_reads(loop, loop.arrays.at("v"), partition::PartitionSpec{{2, 2}});
+  EXPECT_EQ(h.lo, (std::vector<int>{2, 0}));  // case 5: distance > 1
+  EXPECT_EQ(h.hi, (std::vector<int>{0, 1}));
+}
+
+TEST(AnalyzeDependences, JacobiPairsFound) {
+  const auto a = analyze(kJacobiFrame, cfg2d());
+  DiagnosticEngine diags;
+  const auto set =
+      analyze_dependences(a.trace, partition::PartitionSpec{{4, 1}}, diags);
+  // Copy loop writes vold, stencil loop reads vold -> one comm pair.
+  // The copy loop's read of v is offset-0, so it needs no halo and no
+  // synchronization (analysis after partitioning at work).
+  const auto syncs = set.sync_pairs();
+  ASSERT_EQ(syncs.size(), 1u);
+  EXPECT_EQ(syncs[0]->array, "vold");
+  EXPECT_FALSE(syncs[0]->wraps);
+  EXPECT_LT(syncs[0]->writer->seq, syncs[0]->reader->seq);
+}
+
+TEST(AnalyzeDependences, WrapAroundDependence) {
+  // Reader (with offsets) precedes the writer inside the frame loop:
+  // the dependence crosses the frame loop's back edge.
+  const auto a = analyze(
+      "program p\n"
+      "real v(16, 16), w(16, 16)\n"
+      "integer i, j, it\n"
+      "do it = 1, 10\n"
+      "  do i = 2, 15\n"
+      "    do j = 2, 15\n"
+      "      w(i, j) = v(i - 1, j) + v(i + 1, j)\n"
+      "    end do\n"
+      "  end do\n"
+      "  do i = 2, 15\n"
+      "    do j = 2, 15\n"
+      "      v(i, j) = w(i, j)\n"
+      "    end do\n"
+      "  end do\n"
+      "end do\n"
+      "end\n",
+      cfg2d());
+  DiagnosticEngine diags;
+  const auto set =
+      analyze_dependences(a.trace, partition::PartitionSpec{{4, 1}}, diags);
+  const auto syncs = set.sync_pairs();
+  ASSERT_EQ(syncs.size(), 1u);
+  EXPECT_EQ(syncs[0]->array, "v");
+  EXPECT_TRUE(syncs[0]->wraps);
+  ASSERT_NE(syncs[0]->wrap_loop, nullptr);
+  EXPECT_EQ(syncs[0]->wrap_loop->do_var, "it");
+  EXPECT_GT(syncs[0]->writer->seq, syncs[0]->reader->seq);
+}
+
+TEST(AnalyzeDependences, NoCommOnUncutDimension) {
+  // All offsets in dim 0; partition cuts only dim 1 -> no sync needed.
+  const auto a = analyze(
+      "program p\n"
+      "real v(16, 16), w(16, 16)\n"
+      "integer i, j, it\n"
+      "do it = 1, 5\n"
+      "  do i = 2, 15\n"
+      "    do j = 1, 16\n"
+      "      w(i, j) = v(i - 1, j) + v(i + 1, j)\n"
+      "    end do\n"
+      "  end do\n"
+      "  do i = 1, 16\n"
+      "    do j = 1, 16\n"
+      "      v(i, j) = w(i, j)\n"
+      "    end do\n"
+      "  end do\n"
+      "end do\n"
+      "end\n",
+      cfg2d());
+  DiagnosticEngine diags;
+  const auto set =
+      analyze_dependences(a.trace, partition::PartitionSpec{{1, 4}}, diags);
+  EXPECT_TRUE(set.sync_pairs().empty());
+  // Cutting dim 0 instead: the v-stencil pair appears.
+  const auto set2 =
+      analyze_dependences(a.trace, partition::PartitionSpec{{4, 1}}, diags);
+  EXPECT_EQ(set2.sync_pairs().size(), 1u);
+  EXPECT_EQ(set2.sync_pairs()[0]->array, "v");
+}
+
+TEST(AnalyzeDependences, SelfDependentLoopFlagged) {
+  const auto a = analyze(
+      "program p\n"
+      "real v(16, 16)\n"
+      "integer i, j\n"
+      "do i = 2, 15\n"
+      "  do j = 2, 15\n"
+      "    v(i, j) = 0.25 * (v(i - 1, j) + v(i + 1, j))\n"
+      "  end do\n"
+      "end do\n"
+      "end\n",
+      cfg2d());
+  DiagnosticEngine diags;
+  const auto set =
+      analyze_dependences(a.trace, partition::PartitionSpec{{4, 1}}, diags);
+  ASSERT_EQ(set.self_pairs().size(), 1u);
+  EXPECT_TRUE(set.sync_pairs().empty());
+  EXPECT_TRUE(set.self_pairs()[0]->self);
+}
+
+TEST(AnalyzeDependences, NearestWriterWins) {
+  // v written twice before the read: the dependence pairs with the
+  // *second* writer.
+  const auto a = analyze(
+      "program p\n"
+      "real v(8, 8), w(8, 8)\n"
+      "integer i, j\n"
+      "do i = 1, 8\n"
+      "  do j = 1, 8\n"
+      "    v(i, j) = 0.0\n"
+      "  end do\n"
+      "end do\n"
+      "do i = 1, 8\n"
+      "  do j = 1, 8\n"
+      "    v(i, j) = 1.0\n"
+      "  end do\n"
+      "end do\n"
+      "do i = 2, 7\n"
+      "  do j = 2, 7\n"
+      "    w(i, j) = v(i - 1, j)\n"
+      "  end do\n"
+      "end do\n"
+      "end\n",
+      cfg2d());
+  DiagnosticEngine diags;
+  const auto set =
+      analyze_dependences(a.trace, partition::PartitionSpec{{2, 1}}, diags);
+  const auto syncs = set.sync_pairs();
+  ASSERT_EQ(syncs.size(), 1u);
+  EXPECT_EQ(syncs[0]->writer->seq, 1);
+  EXPECT_EQ(syncs[0]->reader->seq, 2);
+}
+
+TEST(AnalyzeDependences, ReadWithNoPriorWriterAndNoLoopHasNoPair) {
+  const auto a = analyze(
+      "program p\n"
+      "real v(8, 8), w(8, 8)\n"
+      "integer i, j\n"
+      "do i = 2, 7\n"
+      "  do j = 2, 7\n"
+      "    w(i, j) = v(i - 1, j)\n"
+      "  end do\n"
+      "end do\n"
+      "do i = 1, 8\n"
+      "  do j = 1, 8\n"
+      "    v(i, j) = 0.0\n"
+      "  end do\n"
+      "end do\n"
+      "end\n",
+      cfg2d());
+  DiagnosticEngine diags;
+  const auto set =
+      analyze_dependences(a.trace, partition::PartitionSpec{{2, 1}}, diags);
+  // Writer strictly after reader with no common loop: no cycle.
+  EXPECT_TRUE(set.sync_pairs().empty());
+}
+
+TEST(AnalyzeDependences, CrossSubroutineDependence) {
+  const auto a = analyze(
+      "program p\n"
+      "real v(8, 8), w(8, 8)\n"
+      "common /f/ v, w\n"
+      "integer it\n"
+      "do it = 1, 5\n"
+      "  call update\n"
+      "  call consume\n"
+      "end do\n"
+      "end\n"
+      "subroutine update\n"
+      "real v(8, 8), w(8, 8)\n"
+      "common /f/ v, w\n"
+      "integer i, j\n"
+      "do i = 1, 8\n"
+      "  do j = 1, 8\n"
+      "    v(i, j) = v(i, j) + 1.0\n"
+      "  end do\n"
+      "end do\n"
+      "return\n"
+      "end\n"
+      "subroutine consume\n"
+      "real v(8, 8), w(8, 8)\n"
+      "common /f/ v, w\n"
+      "integer i, j\n"
+      "do i = 2, 7\n"
+      "  do j = 2, 7\n"
+      "    w(i, j) = v(i + 1, j)\n"
+      "  end do\n"
+      "end do\n"
+      "return\n"
+      "end\n",
+      cfg2d());
+  DiagnosticEngine diags;
+  const auto set =
+      analyze_dependences(a.trace, partition::PartitionSpec{{2, 1}}, diags);
+  const auto syncs = set.sync_pairs();
+  ASSERT_EQ(syncs.size(), 1u);
+  EXPECT_EQ(syncs[0]->writer->unit->name, "update");
+  EXPECT_EQ(syncs[0]->reader->unit->name, "consume");
+}
+
+}  // namespace
+}  // namespace autocfd::depend

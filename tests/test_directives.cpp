@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "autocfd/core/directives.hpp"
+
+namespace autocfd::core {
+namespace {
+
+TEST(DirectivesTest, ExtractsAll) {
+  DiagnosticEngine diags;
+  const auto d = Directives::extract(
+      "!$acfd grid 99 41 13\n"
+      "program p\n"
+      "!$acfd status u v w\n"
+      "!$acfd partition 4x1x1\n"
+      "!$acfd nprocs 6\n"
+      "end\n",
+      diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.dump();
+  EXPECT_EQ(d.grid.extents, (std::vector<long long>{99, 41, 13}));
+  EXPECT_EQ(d.status_arrays, (std::vector<std::string>{"u", "v", "w"}));
+  ASSERT_TRUE(d.partition.has_value());
+  EXPECT_EQ(d.partition->str(), "4x1x1");
+  EXPECT_EQ(d.nprocs, 6);
+}
+
+TEST(DirectivesTest, StatusNamesLowercased) {
+  DiagnosticEngine diags;
+  const auto d = Directives::extract("!$acfd status U Vel\n", diags);
+  EXPECT_EQ(d.status_arrays, (std::vector<std::string>{"u", "vel"}));
+}
+
+TEST(DirectivesTest, UnknownDirectiveIsError) {
+  DiagnosticEngine diags;
+  (void)Directives::extract("!$acfd frobnicate 3\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(DirectivesTest, BadGridExtentIsError) {
+  DiagnosticEngine diags;
+  (void)Directives::extract("!$acfd grid 10 zero\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(DirectivesTest, BadPartitionIsError) {
+  DiagnosticEngine diags;
+  (void)Directives::extract("!$acfd partition 0x4\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(DirectivesTest, ValidateRequiresGridAndStatus) {
+  DiagnosticEngine diags;
+  Directives d;
+  d.validate(diags);
+  EXPECT_GE(diags.error_count(), 2u);
+}
+
+TEST(DirectivesTest, ValidateRejectsRankMismatch) {
+  DiagnosticEngine diags;
+  Directives d;
+  d.grid.extents = {10, 10};
+  d.status_arrays = {"v"};
+  d.partition = partition::PartitionSpec::parse("2x2x1");
+  d.validate(diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(DirectivesTest, ResolvePartitionUsesSearch) {
+  Directives d;
+  d.grid.extents = {99, 41, 13};
+  d.nprocs = 2;
+  // No explicit partition: the section-4.1 search cuts the longest dim.
+  EXPECT_EQ(d.resolve_partition().str(), "2x1x1");
+  d.partition = partition::PartitionSpec::parse("1x2x1");
+  EXPECT_EQ(d.resolve_partition().str(), "1x2x1");  // explicit wins
+}
+
+TEST(DirectivesTest, FieldConfigMirrorsDirectives) {
+  Directives d;
+  d.grid.extents = {32, 16};
+  d.status_arrays = {"a", "b"};
+  const auto cfg = d.field_config();
+  EXPECT_EQ(cfg.grid_rank, 2);
+  EXPECT_TRUE(cfg.is_status("a"));
+  EXPECT_FALSE(cfg.is_status("c"));
+}
+
+TEST(DirectivesTest, NonDirectiveCommentsIgnored) {
+  DiagnosticEngine diags;
+  const auto d = Directives::extract(
+      "! a plain comment\n"
+      "c another\n"
+      "!$acfd grid 8 8\n"
+      "!$acfd status v\n",
+      diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  EXPECT_EQ(d.grid.rank(), 2);
+}
+
+}  // namespace
+}  // namespace autocfd::core

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "autocfd/fortran/lexer.hpp"
+
+namespace autocfd::fortran {
+namespace {
+
+std::vector<Token> lex(std::string_view src) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  auto toks = lexer.tokenize();
+  EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  return toks;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token>& toks) {
+  std::vector<TokenKind> out;
+  for (const auto& t : toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, SimpleAssignment) {
+  const auto toks = lex("x = y + 1\n");
+  const std::vector<TokenKind> expected = {
+      TokenKind::Identifier, TokenKind::Equals, TokenKind::Identifier,
+      TokenKind::Plus,       TokenKind::IntLiteral,
+      TokenKind::EndOfStatement, TokenKind::EndOfFile};
+  EXPECT_EQ(kinds(toks), expected);
+}
+
+TEST(Lexer, IdentifiersAreLowercased) {
+  const auto toks = lex("VeLoCiTy = 0\n");
+  EXPECT_EQ(toks[0].text, "velocity");
+}
+
+TEST(Lexer, CommentLinesSkipped) {
+  const auto toks = lex("c a classic comment\n! modern comment\n* star\nx=1\n");
+  EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[0].loc.line, 4u);
+}
+
+TEST(Lexer, InlineComment) {
+  const auto toks = lex("x = 1 ! trailing\n");
+  EXPECT_EQ(toks.size(), 5u);  // x = 1 EOS EOF
+}
+
+TEST(Lexer, ContinuationLine) {
+  const auto toks = lex("x = 1 + &\n    2\n");
+  // Only one EndOfStatement despite two physical lines.
+  int eos = 0;
+  for (const auto& t : toks) {
+    if (t.kind == TokenKind::EndOfStatement) ++eos;
+  }
+  EXPECT_EQ(eos, 1);
+}
+
+TEST(Lexer, LabelAtLineStart) {
+  const auto toks = lex("10 continue\n");
+  EXPECT_EQ(toks[0].kind, TokenKind::Label);
+  EXPECT_EQ(toks[0].int_value, 10);
+  EXPECT_EQ(toks[1].text, "continue");
+}
+
+TEST(Lexer, IntegerInsideStatementIsNotLabel) {
+  const auto toks = lex("do 10 i=1,5\n");
+  EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[1].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(toks[1].int_value, 10);
+}
+
+TEST(Lexer, RealLiterals) {
+  const auto toks = lex("x = 1.5 + .25 + 2.e-3 + 1d0\n");
+  std::vector<double> reals;
+  for (const auto& t : toks) {
+    if (t.kind == TokenKind::RealLiteral) reals.push_back(t.real_value);
+  }
+  ASSERT_EQ(reals.size(), 4u);
+  EXPECT_DOUBLE_EQ(reals[0], 1.5);
+  EXPECT_DOUBLE_EQ(reals[1], 0.25);
+  EXPECT_DOUBLE_EQ(reals[2], 2e-3);
+  EXPECT_DOUBLE_EQ(reals[3], 1.0);
+}
+
+TEST(Lexer, DotOperators) {
+  const auto toks = lex("if (a .lt. b .and. c .ge. d) x = 1\n");
+  std::vector<TokenKind> dot;
+  for (const auto& t : toks) {
+    switch (t.kind) {
+      case TokenKind::DotLt:
+      case TokenKind::DotAnd:
+      case TokenKind::DotGe:
+        dot.push_back(t.kind);
+        break;
+      default:
+        break;
+    }
+  }
+  const std::vector<TokenKind> expected = {TokenKind::DotLt, TokenKind::DotAnd,
+                                           TokenKind::DotGe};
+  EXPECT_EQ(dot, expected);
+}
+
+TEST(Lexer, DotOperatorAfterIntegerLiteral) {
+  // `1.lt.2` must lex as int, .lt., int — not as real 1.0 then garbage.
+  const auto toks = lex("x = 1.lt.2\n");
+  EXPECT_EQ(toks[2].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(toks[3].kind, TokenKind::DotLt);
+  EXPECT_EQ(toks[4].kind, TokenKind::IntLiteral);
+}
+
+TEST(Lexer, LogicalLiterals) {
+  const auto toks = lex("flag = .true.\nother = .false.\n");
+  EXPECT_EQ(toks[2].kind, TokenKind::DotTrue);
+  EXPECT_EQ(toks[6].kind, TokenKind::DotFalse);
+}
+
+TEST(Lexer, PowerOperator) {
+  const auto toks = lex("y = x**2\n");
+  EXPECT_EQ(toks[3].kind, TokenKind::StarStar);
+}
+
+TEST(Lexer, StringLiteral) {
+  const auto toks = lex("write(6,*) 'hello world'\n");
+  bool found = false;
+  for (const auto& t : toks) {
+    if (t.kind == TokenKind::StringLiteral) {
+      EXPECT_EQ(t.text, "hello world");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lexer, ErrorOnUnknownCharacter) {
+  DiagnosticEngine diags;
+  Lexer lexer("x = 1 @ 2\n", diags);
+  (void)lexer.tokenize();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, ErrorOnUnterminatedString) {
+  DiagnosticEngine diags;
+  Lexer lexer("s = 'oops\n", diags);
+  (void)lexer.tokenize();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, ErrorOnDanglingContinuation) {
+  DiagnosticEngine diags;
+  Lexer lexer("x = 1 + &\n", diags);
+  (void)lexer.tokenize();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, AssignmentToVariableNamedCIsNotComment) {
+  const auto toks = lex("c = 1.0\nc (2) = 3.0\n");
+  EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[0].text, "c");
+}
+
+TEST(Lexer, SourceLocations) {
+  const auto toks = lex("a = 1\nbb = 2\n");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.column, 1u);
+  EXPECT_EQ(toks[4].loc.line, 2u);  // bb
+}
+
+}  // namespace
+}  // namespace autocfd::fortran

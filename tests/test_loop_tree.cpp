@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "autocfd/fortran/parser.hpp"
+#include "autocfd/ir/loop_tree.hpp"
+
+namespace autocfd::ir {
+namespace {
+
+using fortran::parse_source;
+
+// L1 contains L2 and L3 (adjacent); L3 contains L4. Matches the shapes
+// used in the paper's section 5.1 definitions.
+constexpr const char* kNest = R"(
+program p
+real v(10, 10)
+integer i, j, k, l
+do i = 1, 10
+  do j = 1, 10
+    v(i, j) = 0.0
+  end do
+  do k = 1, 10
+    do l = 1, 10
+      v(k, l) = 1.0
+    end do
+  end do
+end do
+end
+)";
+
+class LoopTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = parse_source(kNest);
+    tree_ = LoopTree::build(file_.units[0]);
+    ASSERT_EQ(tree_.roots().size(), 1u);
+    l1_ = tree_.roots()[0];
+    ASSERT_EQ(l1_->children.size(), 2u);
+    l2_ = l1_->children[0];
+    l3_ = l1_->children[1];
+    ASSERT_EQ(l3_->children.size(), 1u);
+    l4_ = l3_->children[0];
+  }
+
+  fortran::SourceFile file_;
+  LoopTree tree_;
+  const LoopTree::Node* l1_ = nullptr;
+  const LoopTree::Node* l2_ = nullptr;
+  const LoopTree::Node* l3_ = nullptr;
+  const LoopTree::Node* l4_ = nullptr;
+};
+
+TEST_F(LoopTreeTest, Depths) {
+  EXPECT_EQ(l1_->depth, 0);
+  EXPECT_EQ(l2_->depth, 1);
+  EXPECT_EQ(l4_->depth, 2);
+}
+
+TEST_F(LoopTreeTest, LoopVarsMatch) {
+  EXPECT_EQ(l1_->loop->do_var, "i");
+  EXPECT_EQ(l2_->loop->do_var, "j");
+  EXPECT_EQ(l3_->loop->do_var, "k");
+  EXPECT_EQ(l4_->loop->do_var, "l");
+}
+
+TEST_F(LoopTreeTest, Definition61InnerOuter) {
+  EXPECT_TRUE(LoopTree::is_inner(*l2_, *l1_));
+  EXPECT_TRUE(LoopTree::is_inner(*l4_, *l1_));  // transitive
+  EXPECT_FALSE(LoopTree::is_inner(*l1_, *l2_));
+  EXPECT_FALSE(LoopTree::is_inner(*l2_, *l3_));
+}
+
+TEST_F(LoopTreeTest, Definition62DirectInner) {
+  EXPECT_TRUE(LoopTree::is_direct_inner(*l2_, *l1_));
+  EXPECT_TRUE(LoopTree::is_direct_inner(*l4_, *l3_));
+  EXPECT_FALSE(LoopTree::is_direct_inner(*l4_, *l1_));  // not direct
+}
+
+TEST_F(LoopTreeTest, Definition63Adjacent) {
+  EXPECT_TRUE(LoopTree::adjacent(*l2_, *l3_));
+  EXPECT_FALSE(LoopTree::adjacent(*l2_, *l4_));
+  EXPECT_FALSE(LoopTree::adjacent(*l2_, *l2_));  // a loop is not its own peer
+}
+
+TEST_F(LoopTreeTest, Definition64Simple) {
+  // L1 holds the adjacent pair (L2, L3) — not simple.
+  EXPECT_FALSE(LoopTree::is_simple(*l1_));
+  EXPECT_TRUE(LoopTree::is_simple(*l2_));
+  EXPECT_TRUE(LoopTree::is_simple(*l3_));  // single chain below
+  EXPECT_TRUE(LoopTree::is_simple(*l4_));
+}
+
+TEST_F(LoopTreeTest, Ancestors) {
+  const auto anc = LoopTree::ancestors(*l4_);
+  ASSERT_EQ(anc.size(), 2u);
+  EXPECT_EQ(anc[0], l3_);
+  EXPECT_EQ(anc[1], l1_);
+}
+
+TEST_F(LoopTreeTest, NodeForLookup) {
+  EXPECT_EQ(tree_.node_for(*l2_->loop), l2_);
+  EXPECT_EQ(tree_.all_nodes().size(), 4u);
+}
+
+TEST(LoopTreeMisc, LoopsInsideIfBranchesNestTransparently) {
+  const auto file = parse_source(
+      "program p\n"
+      "real v(10)\n"
+      "integer i, j\n"
+      "real x\n"
+      "do i = 1, 10\n"
+      "  if (x .gt. 0.0) then\n"
+      "    do j = 1, 10\n"
+      "      v(j) = 0.0\n"
+      "    end do\n"
+      "  end if\n"
+      "end do\n"
+      "end\n");
+  const auto tree = LoopTree::build(file.units[0]);
+  ASSERT_EQ(tree.roots().size(), 1u);
+  ASSERT_EQ(tree.roots()[0]->children.size(), 1u);
+  EXPECT_EQ(tree.roots()[0]->children[0]->loop->do_var, "j");
+}
+
+TEST(LoopTreeMisc, TopLevelLoopsAreAdjacent) {
+  const auto file = parse_source(
+      "program p\n"
+      "real v(10)\n"
+      "integer i, j\n"
+      "do i = 1, 10\n"
+      "  v(i) = 0.0\n"
+      "end do\n"
+      "do j = 1, 10\n"
+      "  v(j) = 1.0\n"
+      "end do\n"
+      "end\n");
+  const auto tree = LoopTree::build(file.units[0]);
+  ASSERT_EQ(tree.roots().size(), 2u);
+  EXPECT_TRUE(
+      LoopTree::adjacent(*tree.roots()[0], *tree.roots()[1]));
+}
+
+}  // namespace
+}  // namespace autocfd::ir

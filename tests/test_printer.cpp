@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "autocfd/fortran/parser.hpp"
+#include "autocfd/fortran/printer.hpp"
+
+namespace autocfd::fortran {
+namespace {
+
+// Round-trip: parse, print, re-parse, print — the two prints must agree.
+void expect_stable(const std::string& src) {
+  const auto f1 = parse_source(src);
+  const auto p1 = print_file(f1);
+  const auto f2 = parse_source(p1);
+  const auto p2 = print_file(f2);
+  EXPECT_EQ(p1, p2) << "print is not a fixed point for:\n" << src;
+}
+
+TEST(Printer, ExprPrecedenceParens) {
+  const auto file = parse_source(
+      "program p\n"
+      "real x\n"
+      "x = (1.0 + 2.0) * 3.0\n"
+      "x = 1.0 - (2.0 - 3.0)\n"
+      "end\n");
+  EXPECT_EQ(print_expr(*file.units[0].body[0]->rhs), "(1.0+2.0)*3.0");
+  EXPECT_EQ(print_expr(*file.units[0].body[1]->rhs), "1.0-(2.0-3.0)");
+}
+
+TEST(Printer, RealLiteralsKeepDecimalPoint) {
+  const auto file = parse_source(
+      "program p\n"
+      "real x\n"
+      "x = 2.0\n"
+      "end\n");
+  EXPECT_EQ(print_expr(*file.units[0].body[0]->rhs), "2.0");
+}
+
+TEST(Printer, RoundTripAssignment) {
+  expect_stable(
+      "program p\n"
+      "real x, y\n"
+      "x = y * 2.0 + 1.0\n"
+      "end\n");
+}
+
+TEST(Printer, RoundTripLoopNest) {
+  expect_stable(
+      "program p\n"
+      "parameter (n = 4)\n"
+      "real v(n, n)\n"
+      "integer i, j\n"
+      "do i = 1, n\n"
+      "  do j = 1, n\n"
+      "    v(i, j) = v(i, j) + 1.0\n"
+      "  end do\n"
+      "end do\n"
+      "end\n");
+}
+
+TEST(Printer, RoundTripBranchesAndGoto) {
+  expect_stable(
+      "program p\n"
+      "real x\n"
+      "integer i\n"
+      "do i = 1, 10\n"
+      "  if (x .gt. 5.0) then\n"
+      "    goto 30\n"
+      "  else\n"
+      "    x = x + 1.0\n"
+      "  end if\n"
+      "end do\n"
+      "30 continue\n"
+      "end\n");
+}
+
+TEST(Printer, RoundTripSubroutines) {
+  expect_stable(
+      "program p\n"
+      "real v(8)\n"
+      "common /flow/ v\n"
+      "call relax\n"
+      "end\n"
+      "subroutine relax\n"
+      "real v(8)\n"
+      "common /flow/ v\n"
+      "integer i\n"
+      "do i = 2, 7\n"
+      "  v(i) = 0.5 * (v(i - 1) + v(i + 1))\n"
+      "end do\n"
+      "return\n"
+      "end\n");
+}
+
+TEST(Printer, RoundTripIntrinsics) {
+  expect_stable(
+      "program p\n"
+      "real x, e\n"
+      "e = max(e, abs(x - 1.0))\n"
+      "x = sqrt(x) ** 2\n"
+      "end\n");
+}
+
+TEST(Printer, RoundTripRelationalChain) {
+  expect_stable(
+      "program p\n"
+      "real a, b\n"
+      "logical q\n"
+      "q = a .lt. b .and. b .ge. 0.0 .or. .not. (a .eq. b)\n"
+      "end\n");
+}
+
+TEST(Printer, HaloExchangePrintsAsAcfdCall) {
+  Stmt s;
+  s.kind = StmtKind::HaloExchange;
+  s.halo_arrays.push_back(HaloSpec{"v", {1, 0}, {1, 0}});
+  const auto text = print_stmt(s);
+  EXPECT_NE(text.find("acfd_halo_exchange"), std::string::npos);
+  EXPECT_NE(text.find("v"), std::string::npos);
+}
+
+TEST(Printer, AllReducePrintsAsMpiCall) {
+  Stmt s;
+  s.kind = StmtKind::AllReduce;
+  s.reduce_var = "errmax";
+  s.callee = "max";
+  const auto text = print_stmt(s);
+  EXPECT_NE(text.find("mpi_allreduce"), std::string::npos);
+  EXPECT_NE(text.find("errmax"), std::string::npos);
+  EXPECT_NE(text.find("mpi_max"), std::string::npos);
+}
+
+TEST(Printer, ExtensionsAsComments) {
+  Stmt s;
+  s.kind = StmtKind::HaloExchange;
+  s.halo_arrays.push_back(HaloSpec{"v", {1}, {1}});
+  PrintOptions opts;
+  opts.extensions_as_mpi_calls = false;
+  const auto text = print_stmt(s, opts);
+  EXPECT_NE(text.find("!$acfd halo-exchange v"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autocfd::fortran

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "autocfd/support/diagnostics.hpp"
+#include "autocfd/support/strings.hpp"
+
+namespace autocfd {
+namespace {
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("AbC_12"), "abc_12");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitWs) {
+  const auto parts = split_ws("  foo\t bar  baz ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, StartsWithCi) {
+  EXPECT_TRUE(starts_with_ci("Program main", "program"));
+  EXPECT_FALSE(starts_with_ci("pro", "program"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Diagnostics, CountsErrors) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(diags.has_errors());
+  diags.warning({1, 1}, "w");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error({2, 3}, "e");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_NE(diags.dump().find("error at 2:3: e"), std::string::npos);
+}
+
+TEST(Diagnostics, ThrowIfErrors) {
+  DiagnosticEngine diags;
+  EXPECT_NO_THROW(throw_if_errors(diags, "phase"));
+  diags.error({}, "boom");
+  EXPECT_THROW(throw_if_errors(diags, "phase"), CompileError);
+}
+
+TEST(Diagnostics, Clear) {
+  DiagnosticEngine diags;
+  diags.error({}, "x");
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.all().empty());
+}
+
+}  // namespace
+}  // namespace autocfd

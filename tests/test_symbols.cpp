@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "autocfd/fortran/parser.hpp"
+#include "autocfd/fortran/symbols.hpp"
+
+namespace autocfd::fortran {
+namespace {
+
+TEST(ConstEvaluator, EvaluatesParameters) {
+  const auto file = parse_source(
+      "program p\n"
+      "parameter (n = 10, m = n * 2, k = m - 3)\n"
+      "integer i\n"
+      "i = 0\n"
+      "end\n");
+  ConstEvaluator eval(file.units[0]);
+  Expr e;
+  e.kind = ExprKind::VarRef;
+  e.name = "k";
+  EXPECT_EQ(eval.eval_int(e), 17);
+}
+
+TEST(ConstEvaluator, NonConstantIsNullopt) {
+  const auto file = parse_source(
+      "program p\n"
+      "integer i\n"
+      "i = 0\n"
+      "end\n");
+  ConstEvaluator eval(file.units[0]);
+  Expr e;
+  e.kind = ExprKind::VarRef;
+  e.name = "i";
+  EXPECT_EQ(eval.eval_int(e), std::nullopt);
+}
+
+TEST(SymbolTable, ResolvesShapes) {
+  const auto file = parse_source(
+      "program p\n"
+      "parameter (n = 99, m = 41)\n"
+      "real v(n, m, 13), w(0:n + 1)\n"
+      "v(1, 1, 1) = 0.0\n"
+      "end\n");
+  DiagnosticEngine diags;
+  const auto table = SymbolTable::build(file.units[0], diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.dump();
+
+  const auto* v = table.shape("v");
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->rank(), 3);
+  EXPECT_EQ(v->dims[0].extent(), 99);
+  EXPECT_EQ(v->dims[1].extent(), 41);
+  EXPECT_EQ(v->dims[2].extent(), 13);
+  EXPECT_EQ(v->element_count(), 99 * 41 * 13);
+
+  const auto* w = table.shape("w");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->dims[0].lower, 0);
+  EXPECT_EQ(w->dims[0].upper, 100);
+  EXPECT_EQ(w->dims[0].extent(), 101);
+}
+
+TEST(SymbolTable, ScalarIsNotArray) {
+  const auto file = parse_source(
+      "program p\n"
+      "real x\n"
+      "x = 0.0\n"
+      "end\n");
+  DiagnosticEngine diags;
+  const auto table = SymbolTable::build(file.units[0], diags);
+  EXPECT_EQ(table.shape("x"), nullptr);
+  EXPECT_FALSE(table.is_array("x"));
+  EXPECT_NE(table.decl("x"), nullptr);
+}
+
+TEST(SymbolTable, AdjustableArrayIsError) {
+  DiagnosticEngine pdiags;
+  const auto file = parse_source(
+      "program p\n"
+      "integer k\n"
+      "real v(k)\n"
+      "k = 3\n"
+      "end\n",
+      pdiags);
+  EXPECT_FALSE(pdiags.has_errors());
+  DiagnosticEngine diags;
+  (void)SymbolTable::build(file.units[0], diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(GlobalSymbols, CommonArraysAreGlobal) {
+  const auto file = parse_source(
+      "program p\n"
+      "real v(8, 8)\n"
+      "real eps\n"
+      "common /flow/ v, eps\n"
+      "call relax\n"
+      "end\n"
+      "subroutine relax\n"
+      "real v(8, 8)\n"
+      "real eps\n"
+      "common /flow/ v, eps\n"
+      "v(1, 1) = eps\n"
+      "return\n"
+      "end\n");
+  DiagnosticEngine diags;
+  const auto globals = GlobalSymbols::build(file, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.dump();
+  EXPECT_TRUE(globals.is_global("v"));
+  EXPECT_TRUE(globals.is_global("eps"));
+  EXPECT_FALSE(globals.is_global("w"));
+  ASSERT_NE(globals.global_shape("v"), nullptr);
+  EXPECT_EQ(globals.global_shape("v")->element_count(), 64);
+  EXPECT_EQ(globals.global_shape("eps"), nullptr);
+}
+
+TEST(GlobalSymbols, InconsistentCommonShapesError) {
+  const auto file = parse_source(
+      "program p\n"
+      "real v(8, 8)\n"
+      "common /flow/ v\n"
+      "v(1, 1) = 0.0\n"
+      "end\n"
+      "subroutine relax\n"
+      "real v(4, 4)\n"
+      "common /flow/ v\n"
+      "v(1, 1) = 0.0\n"
+      "return\n"
+      "end\n");
+  DiagnosticEngine diags;
+  (void)GlobalSymbols::build(file, diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(GlobalSymbols, UnitTableLookup) {
+  const auto file = parse_source(
+      "program p\n"
+      "real v(8)\n"
+      "v(1) = 0.0\n"
+      "end\n");
+  DiagnosticEngine diags;
+  const auto globals = GlobalSymbols::build(file, diags);
+  ASSERT_NE(globals.unit_table("p"), nullptr);
+  EXPECT_EQ(globals.unit_table("missing"), nullptr);
+  EXPECT_TRUE(globals.unit_table("p")->is_array("v"));
+}
+
+}  // namespace
+}  // namespace autocfd::fortran
