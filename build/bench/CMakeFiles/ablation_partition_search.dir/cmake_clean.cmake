@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partition_search.dir/ablation_partition_search.cpp.o"
+  "CMakeFiles/ablation_partition_search.dir/ablation_partition_search.cpp.o.d"
+  "ablation_partition_search"
+  "ablation_partition_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partition_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

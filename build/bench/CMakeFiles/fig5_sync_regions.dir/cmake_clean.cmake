@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sync_regions.dir/fig5_sync_regions.cpp.o"
+  "CMakeFiles/fig5_sync_regions.dir/fig5_sync_regions.cpp.o.d"
+  "fig5_sync_regions"
+  "fig5_sync_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sync_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

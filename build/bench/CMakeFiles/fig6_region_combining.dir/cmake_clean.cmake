@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_region_combining.dir/fig6_region_combining.cpp.o"
+  "CMakeFiles/fig6_region_combining.dir/fig6_region_combining.cpp.o.d"
+  "fig6_region_combining"
+  "fig6_region_combining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_region_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_region_combining.
+# This may be replaced when dependencies are built.

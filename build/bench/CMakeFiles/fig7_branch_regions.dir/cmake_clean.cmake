@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_branch_regions.dir/fig7_branch_regions.cpp.o"
+  "CMakeFiles/fig7_branch_regions.dir/fig7_branch_regions.cpp.o.d"
+  "fig7_branch_regions"
+  "fig7_branch_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_branch_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

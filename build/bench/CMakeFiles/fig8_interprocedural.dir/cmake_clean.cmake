@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_interprocedural.dir/fig8_interprocedural.cpp.o"
+  "CMakeFiles/fig8_interprocedural.dir/fig8_interprocedural.cpp.o.d"
+  "fig8_interprocedural"
+  "fig8_interprocedural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_interprocedural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

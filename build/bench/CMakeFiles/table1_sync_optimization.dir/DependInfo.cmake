@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_sync_optimization.cpp" "bench/CMakeFiles/table1_sync_optimization.dir/table1_sync_optimization.cpp.o" "gcc" "bench/CMakeFiles/table1_sync_optimization.dir/table1_sync_optimization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/autocfd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfd/CMakeFiles/autocfd_cfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/autocfd_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/autocfd_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/depend/CMakeFiles/autocfd_depend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/autocfd_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/autocfd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/autocfd_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fortran/CMakeFiles/autocfd_fortran.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/autocfd_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/autocfd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sync_optimization.dir/table1_sync_optimization.cpp.o"
+  "CMakeFiles/table1_sync_optimization.dir/table1_sync_optimization.cpp.o.d"
+  "table1_sync_optimization"
+  "table1_sync_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sync_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_case2_performance.dir/table3_case2_performance.cpp.o"
+  "CMakeFiles/table3_case2_performance.dir/table3_case2_performance.cpp.o.d"
+  "table3_case2_performance"
+  "table3_case2_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_case2_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_case2_scaling.dir/table4_case2_scaling.cpp.o"
+  "CMakeFiles/table4_case2_scaling.dir/table4_case2_scaling.cpp.o.d"
+  "table4_case2_scaling"
+  "table4_case2_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_case2_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

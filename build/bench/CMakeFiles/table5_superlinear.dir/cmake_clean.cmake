@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_superlinear.dir/table5_superlinear.cpp.o"
+  "CMakeFiles/table5_superlinear.dir/table5_superlinear.cpp.o.d"
+  "table5_superlinear"
+  "table5_superlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_superlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acfd.dir/acfd.cpp.o"
+  "CMakeFiles/acfd.dir/acfd.cpp.o.d"
+  "acfd"
+  "acfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

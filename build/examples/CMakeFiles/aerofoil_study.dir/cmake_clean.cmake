@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerofoil_study.dir/aerofoil_study.cpp.o"
+  "CMakeFiles/aerofoil_study.dir/aerofoil_study.cpp.o.d"
+  "aerofoil_study"
+  "aerofoil_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerofoil_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

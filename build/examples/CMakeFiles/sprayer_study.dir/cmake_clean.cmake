@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprayer_study.dir/sprayer_study.cpp.o"
+  "CMakeFiles/sprayer_study.dir/sprayer_study.cpp.o.d"
+  "sprayer_study"
+  "sprayer_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprayer_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocfd_cfd.dir/aerofoil.cpp.o"
+  "CMakeFiles/autocfd_cfd.dir/aerofoil.cpp.o.d"
+  "CMakeFiles/autocfd_cfd.dir/sprayer.cpp.o"
+  "CMakeFiles/autocfd_cfd.dir/sprayer.cpp.o.d"
+  "libautocfd_cfd.a"
+  "libautocfd_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocfd_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

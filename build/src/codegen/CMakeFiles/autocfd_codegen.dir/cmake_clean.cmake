@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocfd_codegen.dir/restructure.cpp.o"
+  "CMakeFiles/autocfd_codegen.dir/restructure.cpp.o.d"
+  "CMakeFiles/autocfd_codegen.dir/spmd_runtime.cpp.o"
+  "CMakeFiles/autocfd_codegen.dir/spmd_runtime.cpp.o.d"
+  "libautocfd_codegen.a"
+  "libautocfd_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocfd_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

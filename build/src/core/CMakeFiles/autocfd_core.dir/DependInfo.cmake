@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/directives.cpp" "src/core/CMakeFiles/autocfd_core.dir/directives.cpp.o" "gcc" "src/core/CMakeFiles/autocfd_core.dir/directives.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/autocfd_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/autocfd_core.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/autocfd_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/autocfd_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/depend/CMakeFiles/autocfd_depend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/autocfd_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/autocfd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/autocfd_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fortran/CMakeFiles/autocfd_fortran.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/autocfd_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/autocfd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocfd_core.dir/directives.cpp.o"
+  "CMakeFiles/autocfd_core.dir/directives.cpp.o.d"
+  "CMakeFiles/autocfd_core.dir/pipeline.cpp.o"
+  "CMakeFiles/autocfd_core.dir/pipeline.cpp.o.d"
+  "libautocfd_core.a"
+  "libautocfd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocfd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

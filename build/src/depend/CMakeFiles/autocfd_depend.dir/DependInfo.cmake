@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/depend/dep_pairs.cpp" "src/depend/CMakeFiles/autocfd_depend.dir/dep_pairs.cpp.o" "gcc" "src/depend/CMakeFiles/autocfd_depend.dir/dep_pairs.cpp.o.d"
+  "/root/repo/src/depend/point_graph.cpp" "src/depend/CMakeFiles/autocfd_depend.dir/point_graph.cpp.o" "gcc" "src/depend/CMakeFiles/autocfd_depend.dir/point_graph.cpp.o.d"
+  "/root/repo/src/depend/self_dep.cpp" "src/depend/CMakeFiles/autocfd_depend.dir/self_dep.cpp.o" "gcc" "src/depend/CMakeFiles/autocfd_depend.dir/self_dep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/autocfd_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/autocfd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/fortran/CMakeFiles/autocfd_fortran.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/autocfd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocfd_depend.dir/dep_pairs.cpp.o"
+  "CMakeFiles/autocfd_depend.dir/dep_pairs.cpp.o.d"
+  "CMakeFiles/autocfd_depend.dir/point_graph.cpp.o"
+  "CMakeFiles/autocfd_depend.dir/point_graph.cpp.o.d"
+  "CMakeFiles/autocfd_depend.dir/self_dep.cpp.o"
+  "CMakeFiles/autocfd_depend.dir/self_dep.cpp.o.d"
+  "libautocfd_depend.a"
+  "libautocfd_depend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocfd_depend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

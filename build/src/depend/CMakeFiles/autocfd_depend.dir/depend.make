@@ -1,0 +1,2 @@
+# Empty dependencies file for autocfd_depend.
+# This may be replaced when dependencies are built.

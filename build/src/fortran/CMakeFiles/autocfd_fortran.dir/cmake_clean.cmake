@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocfd_fortran.dir/ast.cpp.o"
+  "CMakeFiles/autocfd_fortran.dir/ast.cpp.o.d"
+  "CMakeFiles/autocfd_fortran.dir/lexer.cpp.o"
+  "CMakeFiles/autocfd_fortran.dir/lexer.cpp.o.d"
+  "CMakeFiles/autocfd_fortran.dir/parser.cpp.o"
+  "CMakeFiles/autocfd_fortran.dir/parser.cpp.o.d"
+  "CMakeFiles/autocfd_fortran.dir/printer.cpp.o"
+  "CMakeFiles/autocfd_fortran.dir/printer.cpp.o.d"
+  "CMakeFiles/autocfd_fortran.dir/symbols.cpp.o"
+  "CMakeFiles/autocfd_fortran.dir/symbols.cpp.o.d"
+  "CMakeFiles/autocfd_fortran.dir/token.cpp.o"
+  "CMakeFiles/autocfd_fortran.dir/token.cpp.o.d"
+  "libautocfd_fortran.a"
+  "libautocfd_fortran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocfd_fortran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocfd_interp.dir/env.cpp.o"
+  "CMakeFiles/autocfd_interp.dir/env.cpp.o.d"
+  "CMakeFiles/autocfd_interp.dir/image.cpp.o"
+  "CMakeFiles/autocfd_interp.dir/image.cpp.o.d"
+  "CMakeFiles/autocfd_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/autocfd_interp.dir/interpreter.cpp.o.d"
+  "libautocfd_interp.a"
+  "libautocfd_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocfd_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocfd_ir.dir/call_graph.cpp.o"
+  "CMakeFiles/autocfd_ir.dir/call_graph.cpp.o.d"
+  "CMakeFiles/autocfd_ir.dir/field_loop.cpp.o"
+  "CMakeFiles/autocfd_ir.dir/field_loop.cpp.o.d"
+  "CMakeFiles/autocfd_ir.dir/loop_tree.cpp.o"
+  "CMakeFiles/autocfd_ir.dir/loop_tree.cpp.o.d"
+  "libautocfd_ir.a"
+  "libautocfd_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocfd_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

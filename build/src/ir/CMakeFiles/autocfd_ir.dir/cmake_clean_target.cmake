@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautocfd_ir.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocfd_mp.dir/cluster.cpp.o"
+  "CMakeFiles/autocfd_mp.dir/cluster.cpp.o.d"
+  "CMakeFiles/autocfd_mp.dir/machine.cpp.o"
+  "CMakeFiles/autocfd_mp.dir/machine.cpp.o.d"
+  "libautocfd_mp.a"
+  "libautocfd_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocfd_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocfd_partition.dir/comm_model.cpp.o"
+  "CMakeFiles/autocfd_partition.dir/comm_model.cpp.o.d"
+  "CMakeFiles/autocfd_partition.dir/grid.cpp.o"
+  "CMakeFiles/autocfd_partition.dir/grid.cpp.o.d"
+  "libautocfd_partition.a"
+  "libautocfd_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocfd_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

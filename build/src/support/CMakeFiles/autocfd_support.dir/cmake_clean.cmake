@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocfd_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/autocfd_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/autocfd_support.dir/strings.cpp.o"
+  "CMakeFiles/autocfd_support.dir/strings.cpp.o.d"
+  "libautocfd_support.a"
+  "libautocfd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocfd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/combine.cpp" "src/sync/CMakeFiles/autocfd_sync.dir/combine.cpp.o" "gcc" "src/sync/CMakeFiles/autocfd_sync.dir/combine.cpp.o.d"
+  "/root/repo/src/sync/inlined.cpp" "src/sync/CMakeFiles/autocfd_sync.dir/inlined.cpp.o" "gcc" "src/sync/CMakeFiles/autocfd_sync.dir/inlined.cpp.o.d"
+  "/root/repo/src/sync/regions.cpp" "src/sync/CMakeFiles/autocfd_sync.dir/regions.cpp.o" "gcc" "src/sync/CMakeFiles/autocfd_sync.dir/regions.cpp.o.d"
+  "/root/repo/src/sync/sync_plan.cpp" "src/sync/CMakeFiles/autocfd_sync.dir/sync_plan.cpp.o" "gcc" "src/sync/CMakeFiles/autocfd_sync.dir/sync_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/depend/CMakeFiles/autocfd_depend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/autocfd_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fortran/CMakeFiles/autocfd_fortran.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/autocfd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/autocfd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

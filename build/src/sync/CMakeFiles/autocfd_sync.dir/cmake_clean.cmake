@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocfd_sync.dir/combine.cpp.o"
+  "CMakeFiles/autocfd_sync.dir/combine.cpp.o.d"
+  "CMakeFiles/autocfd_sync.dir/inlined.cpp.o"
+  "CMakeFiles/autocfd_sync.dir/inlined.cpp.o.d"
+  "CMakeFiles/autocfd_sync.dir/regions.cpp.o"
+  "CMakeFiles/autocfd_sync.dir/regions.cpp.o.d"
+  "CMakeFiles/autocfd_sync.dir/sync_plan.cpp.o"
+  "CMakeFiles/autocfd_sync.dir/sync_plan.cpp.o.d"
+  "libautocfd_sync.a"
+  "libautocfd_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocfd_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

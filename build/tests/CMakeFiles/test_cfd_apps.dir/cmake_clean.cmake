@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfd_apps.dir/test_cfd_apps.cpp.o"
+  "CMakeFiles/test_cfd_apps.dir/test_cfd_apps.cpp.o.d"
+  "test_cfd_apps"
+  "test_cfd_apps.pdb"
+  "test_cfd_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfd_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

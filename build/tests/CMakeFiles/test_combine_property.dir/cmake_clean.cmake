@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combine_property.dir/test_combine_property.cpp.o"
+  "CMakeFiles/test_combine_property.dir/test_combine_property.cpp.o.d"
+  "test_combine_property"
+  "test_combine_property.pdb"
+  "test_combine_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combine_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dep_pairs.dir/test_dep_pairs.cpp.o"
+  "CMakeFiles/test_dep_pairs.dir/test_dep_pairs.cpp.o.d"
+  "test_dep_pairs"
+  "test_dep_pairs.pdb"
+  "test_dep_pairs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dep_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directives.dir/test_directives.cpp.o"
+  "CMakeFiles/test_directives.dir/test_directives.cpp.o.d"
+  "test_directives"
+  "test_directives.pdb"
+  "test_directives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

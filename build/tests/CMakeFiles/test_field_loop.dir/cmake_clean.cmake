@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_field_loop.dir/test_field_loop.cpp.o"
+  "CMakeFiles/test_field_loop.dir/test_field_loop.cpp.o.d"
+  "test_field_loop"
+  "test_field_loop.pdb"
+  "test_field_loop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_field_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

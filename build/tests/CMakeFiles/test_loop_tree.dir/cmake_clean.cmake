@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loop_tree.dir/test_loop_tree.cpp.o"
+  "CMakeFiles/test_loop_tree.dir/test_loop_tree.cpp.o.d"
+  "test_loop_tree"
+  "test_loop_tree.pdb"
+  "test_loop_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loop_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_reference_solver.cpp" "tests/CMakeFiles/test_reference_solver.dir/test_reference_solver.cpp.o" "gcc" "tests/CMakeFiles/test_reference_solver.dir/test_reference_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/autocfd_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fortran/CMakeFiles/autocfd_fortran.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/autocfd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_solver.dir/test_reference_solver.cpp.o"
+  "CMakeFiles/test_reference_solver.dir/test_reference_solver.cpp.o.d"
+  "test_reference_solver"
+  "test_reference_solver.pdb"
+  "test_reference_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_self_dep.dir/test_self_dep.cpp.o"
+  "CMakeFiles/test_self_dep.dir/test_self_dep.cpp.o.d"
+  "test_self_dep"
+  "test_self_dep.pdb"
+  "test_self_dep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_self_dep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

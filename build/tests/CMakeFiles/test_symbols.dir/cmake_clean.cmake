@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbols.dir/test_symbols.cpp.o"
+  "CMakeFiles/test_symbols.dir/test_symbols.cpp.o.d"
+  "test_symbols"
+  "test_symbols.pdb"
+  "test_symbols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_lexer[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_printer[1]_include.cmake")
+include("/root/repo/build/tests/test_symbols[1]_include.cmake")
+include("/root/repo/build/tests/test_loop_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_field_loop[1]_include.cmake")
+include("/root/repo/build/tests/test_call_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_dep_pairs[1]_include.cmake")
+include("/root/repo/build/tests/test_self_dep[1]_include.cmake")
+include("/root/repo/build/tests/test_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_spmd[1]_include.cmake")
+include("/root/repo/build/tests/test_cfd_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_directives[1]_include.cmake")
+include("/root/repo/build/tests/test_random_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_reference_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_combine_property[1]_include.cmake")
