@@ -10,6 +10,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,34 @@
 #include "autocfd/fortran/parser.hpp"
 
 namespace bench_util {
+
+/// Values recorded for the machine-readable sidecar. finish() writes
+/// them to BENCH_<binary>.json so the perf trajectory of the tables
+/// and figures can be tracked across PRs without scraping stdout.
+inline std::map<std::string, double>& json_records() {
+  static std::map<std::string, double> records;
+  return records;
+}
+
+/// Records one measurement (e.g. "aerofoil.4x1x1.elapsed_s").
+inline void record(const std::string& key, double value) {
+  json_records()[key] = value;
+}
+
+/// Writes the recorded measurements as a flat JSON object.
+inline void write_json_report(const std::string& path) {
+  std::ofstream os(path);
+  os << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : json_records()) {
+    if (!first) os << ",\n";
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    os << "  \"" << key << "\": " << buf;
+  }
+  os << "\n}\n";
+}
 
 inline void heading(const std::string& title) {
   std::printf("\n================================================================\n");
@@ -45,8 +75,19 @@ inline autocfd::codegen::SpmdRunResult run_par(
   return program->run(autocfd::mp::MachineConfig::pentium_ethernet_1999());
 }
 
-/// Standard tail: print a footer and hand over to google-benchmark.
+/// Standard tail: write the JSON sidecar (if anything was recorded),
+/// print a footer and hand over to google-benchmark.
 inline int finish(int argc, char** argv) {
+  if (!json_records().empty() && argc >= 1) {
+    std::string stem = argv[0];
+    if (const auto slash = stem.find_last_of('/'); slash != std::string::npos) {
+      stem = stem.substr(slash + 1);
+    }
+    const std::string path = "BENCH_" + stem + ".json";
+    write_json_report(path);
+    note("\n[bench_util] wrote " + std::to_string(json_records().size()) +
+         " measurement(s) to " + path);
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,129 @@
+// Critical-path ablation of the synchronization combining strategies.
+//
+// The paper's Table 1 argues for minimal-intersection combining by
+// counting synchronization points; this figure makes the runtime
+// argument directly. Each strategy's run is traced, the happens-before
+// critical path is extracted, and the chains are compared: combining
+// removes rendezvous from the path, so Min's critical path is no
+// longer than Pairwise's, which is no longer than None's.
+#include "bench_util.hpp"
+
+#include "autocfd/trace/check.hpp"
+#include "autocfd/trace/critical_path.hpp"
+#include "autocfd/trace/recorder.hpp"
+
+namespace {
+
+using namespace autocfd;
+
+const char* strategy_name(sync::CombineStrategy s) {
+  switch (s) {
+    case sync::CombineStrategy::Min: return "Min";
+    case sync::CombineStrategy::Pairwise: return "Pairwise";
+    case sync::CombineStrategy::None: return "None";
+  }
+  return "?";
+}
+
+struct StrategyRun {
+  sync::CombineStrategy strategy;
+  int syncs_after = 0;
+  double elapsed = 0.0;
+  trace::Trace trace;
+  trace::CriticalPath path;
+  bool clean = false;
+};
+
+StrategyRun run_strategy(const std::string& source,
+                         const core::Directives& dirs,
+                         sync::CombineStrategy strategy) {
+  StrategyRun out;
+  out.strategy = strategy;
+  auto program = core::parallelize(source, dirs, strategy);
+  out.syncs_after = program->report.syncs_after;
+  trace::TraceRecorder recorder;
+  const auto result =
+      program->run(mp::MachineConfig::pentium_ethernet_1999(), &recorder);
+  out.elapsed = result.elapsed;
+  out.trace = recorder.take();
+  out.path = trace::critical_path(out.trace);
+  out.clean = trace::communication_clean(trace::check_trace(out.trace));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cfd::AerofoilParams params;
+  params.n1 = 48;  // laptop-friendly subset of the paper's 99x41x13
+  params.n2 = 20;
+  params.n3 = 8;
+  params.frames = 2;
+  const char* part = "2x2x1";
+
+  const auto source = cfd::aerofoil_source(params);
+  DiagnosticEngine diags;
+  auto dirs = core::Directives::extract(source, diags);
+  dirs.partition = partition::PartitionSpec::parse(part);
+
+  bench_util::heading(
+      "Critical path vs combining strategy: aerofoil 48x20x8, " +
+      std::string(part));
+  std::printf("%-10s %7s %12s %12s %9s %10s %12s %7s %7s\n", "strategy",
+              "syncs", "elapsed (s)", "path (s)", "compute", "transfer",
+              "collective", "steps", "clean");
+
+  std::vector<StrategyRun> runs;
+  for (const auto strategy :
+       {sync::CombineStrategy::Min, sync::CombineStrategy::Pairwise,
+        sync::CombineStrategy::None}) {
+    runs.push_back(run_strategy(source, dirs, strategy));
+    const auto& r = runs.back();
+    std::printf("%-10s %7d %12.4f %12.4f %9.4f %10.4f %12.4f %7zu %7s\n",
+                strategy_name(strategy), r.syncs_after, r.elapsed,
+                r.path.length, r.path.compute, r.path.transfer,
+                r.path.collective, r.path.steps.size(),
+                r.clean ? "yes" : "NO");
+    const std::string key = std::string("aerofoil.") + part + "." +
+                            strategy_name(strategy);
+    bench_util::record(key + ".critical_path_s", r.path.length);
+    bench_util::record(key + ".elapsed_s", r.elapsed);
+    bench_util::record(key + ".syncs_after", r.syncs_after);
+  }
+
+  const auto& min = runs[0];
+  const auto& pairwise = runs[1];
+  const auto& none = runs[2];
+  const bool ordered = min.path.length <= pairwise.path.length + 1e-12 &&
+                       pairwise.path.length <= none.path.length + 1e-12;
+  bench_util::note(
+      "\nShape checks: every path length equals its run's elapsed time\n"
+      "(the chain realizes the slowest rank's clock), and combining\n"
+      "shortens the chain: Min <= Pairwise <= None " +
+      std::string(ordered ? "holds." : "VIOLATED."));
+  for (const auto& r : runs) {
+    const double err = std::abs(r.path.length - r.elapsed);
+    if (err > 1e-9) {
+      std::printf("WARNING: %s path-vs-elapsed mismatch: %.3g s\n",
+                  strategy_name(r.strategy), err);
+    }
+  }
+  bench_util::record("aerofoil.ordering_holds", ordered ? 1.0 : 0.0);
+
+  // Microbenchmark: path extraction itself, on the densest trace.
+  benchmark::RegisterBenchmark(
+      "critical_path/aerofoil/none",
+      [trace = none.trace](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(trace::critical_path(trace));
+        }
+      });
+  benchmark::RegisterBenchmark(
+      "rank_breakdown/aerofoil/none",
+      [trace = none.trace](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(trace::rank_breakdown(trace));
+        }
+      });
+  return bench_util::finish(argc, argv);
+}

@@ -16,8 +16,8 @@ struct PaperRow {
   int after;
 };
 
-void report(const std::string& title, const std::string& source,
-            const std::vector<PaperRow>& rows) {
+void report(const std::string& title, const std::string& prefix,
+            const std::string& source, const std::vector<PaperRow>& rows) {
   bench_util::heading(title);
   std::printf("%-10s %14s %14s %16s %12s %12s\n", "partition",
               "paper before", "paper after", "measured before",
@@ -35,6 +35,11 @@ void report(const std::string& title, const std::string& source,
                 row.partition, row.before, row.after, min_rep.syncs_before,
                 min_rep.syncs_after, pairwise->report.syncs_after,
                 min_rep.optimization_percent);
+    const std::string key = prefix + "." + row.partition;
+    bench_util::record(key + ".syncs_before", min_rep.syncs_before);
+    bench_util::record(key + ".syncs_after_min", min_rep.syncs_after);
+    bench_util::record(key + ".syncs_after_pairwise",
+                       pairwise->report.syncs_after);
   }
 }
 
@@ -53,7 +58,8 @@ void benchmark_analysis(benchmark::State& state, const std::string& source,
 int main(int argc, char** argv) {
   cfd::AerofoilParams ap;  // 99 x 41 x 13, the paper's case study 1
   const auto aero = cfd::aerofoil_source(ap);
-  report("Table 1 / case study 1: aerofoil simulation (99x41x13)", aero,
+  report("Table 1 / case study 1: aerofoil simulation (99x41x13)",
+         "aerofoil", aero,
          {{"4x1x1", 73, 8},
           {"1x4x1", 84, 10},
           {"1x1x4", 81, 9},
@@ -64,7 +70,7 @@ int main(int argc, char** argv) {
   cfd::SprayerParams sp;  // 300 x 100, the paper's case study 2
   const auto spray = cfd::sprayer_source(sp);
   report("Table 1 / case study 2: flow simulation of sprayer (300x100)",
-         spray, {{"4x1", 72, 7}, {"1x4", 69, 7}, {"4x4", 141, 7}});
+         "sprayer", spray, {{"4x1", 72, 7}, {"1x4", 69, 7}, {"4x4", 141, 7}});
 
   bench_util::note(
       "\nShape checks: ~90% of synchronization points are removed; the\n"

@@ -26,6 +26,7 @@
 #include "autocfd/fortran/ast.hpp"
 #include "autocfd/fortran/symbols.hpp"
 #include "autocfd/sync/sync_plan.hpp"
+#include "autocfd/sync/tag_registry.hpp"
 
 namespace autocfd::codegen {
 
@@ -44,6 +45,11 @@ struct SpmdMeta {
   std::map<std::string, partition::HaloWidths> ghosts;
   /// Global (sequential) shape of each status array, for gather.
   std::map<std::string, fortran::ArrayShape> global_shapes;
+  /// One CommSite per communication-emitting construct the
+  /// restructurer generated; the site id is the wire tag (or the
+  /// collective `site`), so a trace of the run can attribute every
+  /// event back to its synchronization point.
+  sync::TagRegistry tags;
 
   [[nodiscard]] static std::string lo_name(int dim) {
     return "acfd_lo" + std::to_string(dim + 1);

@@ -30,10 +30,14 @@ struct SpmdRunResult {
 };
 
 /// Runs the restructured `file` on spec.num_tasks() simulated ranks.
-/// The file is resolved in place (ProgramImage annotation).
+/// The file is resolved in place (ProgramImage annotation). When
+/// `sink` is non-null the cluster streams every event of the run into
+/// it (see autocfd/mp/events.hpp); pair with a trace::TraceRecorder
+/// and meta.tags to get an attributed execution trace.
 [[nodiscard]] SpmdRunResult run_spmd(fortran::SourceFile& file,
                                      const SpmdMeta& meta,
-                                     const mp::MachineConfig& machine);
+                                     const mp::MachineConfig& machine,
+                                     mp::EventSink* sink = nullptr);
 
 struct SeqRunResult {
   double elapsed = 0.0;

@@ -49,6 +49,30 @@ struct Restructurer {
   DiagnosticEngine* diags;
   SpmdMeta* meta;
   bool warned_invariant_read = false;
+  int reduction_ordinal = 0;
+  int pipeline_ordinal = 0;
+
+  /// Registers the wire tags of one aggregated halo exchange (one per
+  /// cut grid dimension) and stamps them into the statement.
+  void register_halo_tags(Stmt& halo, int point_ordinal) {
+    const int rank = opts->grid.rank();
+    halo.comm_tags.assign(static_cast<std::size_t>(rank), -1);
+    std::string arrays;
+    for (const auto& h : halo.halo_arrays) {
+      if (!arrays.empty()) arrays += ",";
+      arrays += h.array;
+    }
+    for (int d = 0; d < rank; ++d) {
+      if (opts->spec.cuts[static_cast<std::size_t>(d)] <= 1) continue;
+      sync::CommSite site;
+      site.kind = sync::CommSite::Kind::Halo;
+      site.ordinal = point_ordinal;
+      site.dim = d;
+      site.label = "halo#" + std::to_string(point_ordinal) + " dim" +
+                   std::to_string(d) + " {" + arrays + "}";
+      halo.comm_tags[static_cast<std::size_t>(d)] = meta->tags.add(site);
+    }
+  }
 
   // ---- ghost width computation -------------------------------------------
 
@@ -272,6 +296,11 @@ struct Restructurer {
           auto ar = fortran::make_stmt(StmtKind::AllReduce, s.loc);
           ar->reduce_var = red.var;
           ar->callee = red.op;
+          sync::CommSite site;
+          site.kind = sync::CommSite::Kind::Collective;
+          site.ordinal = reduction_ordinal++;
+          site.label = "allreduce(" + red.op + ") " + red.var;
+          ar->sync_site = meta->tags.add(site);
           list.insert(list.begin() + static_cast<std::ptrdiff_t>(insert_at++),
                       std::move(ar));
         }
@@ -304,21 +333,41 @@ struct Restructurer {
         flow.array = pp->plan.array;
         flow.lo_width = pp->plan.flow_halo.lo;
         flow.hi_width = pp->plan.flow_halo.hi;
+        // One wire tag per (pipeline, dimension, direction), shared by
+        // the PipelineStart that receives the boundary and the
+        // PipelineEnd that sends it downstream.
+        const int this_pipeline = pipeline_ordinal++;
+        std::vector<int> wave_tags;
+        for (const auto& [dim, dir] : pp->plan.pipeline_dims) {
+          sync::CommSite site;
+          site.kind = sync::CommSite::Kind::Pipeline;
+          site.ordinal = this_pipeline;
+          site.dim = dim;
+          site.dir = dir;
+          site.label = "pipeline#" + std::to_string(this_pipeline) + " " +
+                       pp->plan.array + " dim" + std::to_string(dim) +
+                       (dir > 0 ? "+" : "-");
+          wave_tags.push_back(meta->tags.add(site));
+        }
         std::size_t at = i;
+        std::size_t wave = 0;
         for (const auto& [dim, dir] : pp->plan.pipeline_dims) {
           auto start = fortran::make_stmt(StmtKind::PipelineStart, s.loc);
           start->pipeline_dim = dim;
           start->pipeline_dir = dir;
           start->halo_arrays = {flow};
+          start->comm_tags = {wave_tags[wave++]};
           list.insert(list.begin() + static_cast<std::ptrdiff_t>(at++),
                       std::move(start));
         }
         std::size_t after = at + 1;  // loop shifted right by inserts
+        wave = 0;
         for (const auto& [dim, dir] : pp->plan.pipeline_dims) {
           auto end = fortran::make_stmt(StmtKind::PipelineEnd, s.loc);
           end->pipeline_dim = dim;
           end->pipeline_dir = dir;
           end->halo_arrays = {flow};
+          end->comm_tags = {wave_tags[wave++]};
           list.insert(list.begin() + static_cast<std::ptrdiff_t>(after++),
                       std::move(end));
         }
@@ -356,7 +405,8 @@ SpmdMeta restructure(
     fortran::StmtPtr stmt;
   };
   std::vector<Insertion> insertions;
-  for (const auto& point : plan.points) {
+  for (std::size_t k = 0; k < plan.points.size(); ++k) {
+    const auto& point = plan.points[k];
     const auto& slot = prog.slot(point.chosen_slot);
     if (!slot.source_block) {
       diags.error({}, "synchronization point has no source location");
@@ -364,6 +414,7 @@ SpmdMeta restructure(
     }
     auto halo = fortran::make_stmt(StmtKind::HaloExchange);
     halo->halo_arrays = sync::SyncPlan::halos_for(point);
+    r.register_halo_tags(*halo, static_cast<int>(k));
     insertions.push_back(Insertion{slot.source_block, slot.index,
                                    std::move(halo)});
   }

@@ -111,8 +111,14 @@ struct RankRuntime {
                    [&](long long i) { outbox.push_back(av.data[static_cast<std::size_t>(i)]); });
         }
         // One logical exchange per (dimension, neighbor pair): both
-        // peers must use the same tag for the paired sendrecv.
-        auto inbox = comm->sendrecv(*peer, dim, std::move(outbox));
+        // peers must use the same tag for the paired sendrecv. The
+        // restructurer assigns a registry tag per (sync point, dim) so
+        // traces can attribute the message; fall back to the dimension
+        // for hand-built statements.
+        const int tag = du < s.comm_tags.size() && s.comm_tags[du] >= 0
+                            ? s.comm_tags[du]
+                            : dim;
+        auto inbox = comm->sendrecv(*peer, tag, std::move(outbox));
         std::size_t pos = 0;
         for (const auto& h : s.halo_arrays) {
           const int recv_w = dir > 0 ? h.hi_width[du] : h.lo_width[du];
@@ -136,11 +142,11 @@ struct RankRuntime {
     const double v = e.scalar(s.slot);
     double r = 0.0;
     if (s.callee == "sum") {
-      r = comm->allreduce_sum(v);
+      r = comm->allreduce_sum(v, s.sync_site);
     } else if (s.callee == "min") {
-      r = -comm->allreduce_max(-v);
+      r = -comm->allreduce_max(-v, s.sync_site);
     } else {
-      r = comm->allreduce_max(v);
+      r = comm->allreduce_max(v, s.sync_site);
     }
     e.set_scalar(s.slot, r);
   }
@@ -155,7 +161,8 @@ struct RankRuntime {
     if (!peer) return;  // first block in the sweep starts immediately
     const auto du = static_cast<std::size_t>(dim);
     const auto& sg = mine();
-    const int tag = 64 + dim * 4 + (up > 0 ? 1 : 0);
+    const int tag = !s.comm_tags.empty() ? s.comm_tags[0]
+                                         : 64 + dim * 4 + (up > 0 ? 1 : 0);
     auto inbox = comm->recv(*peer, tag);
     std::size_t pos = 0;
     for (const auto& h : s.halo_arrays) {
@@ -197,7 +204,8 @@ struct RankRuntime {
       if (d == dim) continue;
       lines *= sg.extent(d);
     }
-    const int tag = 64 + dim * 4 + (-down > 0 ? 1 : 0);
+    const int tag = !s.comm_tags.empty() ? s.comm_tags[0]
+                                         : 64 + dim * 4 + (-down > 0 ? 1 : 0);
     comm->send_chunked(*peer, tag, std::move(outbox), lines);
   }
 
@@ -209,7 +217,7 @@ struct RankRuntime {
       case StmtKind::PipelineEnd: pipeline_end(s); break;
       case StmtKind::Barrier:
         flush_compute();
-        comm->barrier();
+        comm->barrier(s.sync_site);
         break;
       default: break;
     }
@@ -219,7 +227,8 @@ struct RankRuntime {
 }  // namespace
 
 SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
-                       const mp::MachineConfig& machine) {
+                       const mp::MachineConfig& machine,
+                       mp::EventSink* sink) {
   DiagnosticEngine diags;
   auto image = interp::ProgramImage::build(file, diags);
   throw_if_errors(diags, "spmd image build");
@@ -227,6 +236,7 @@ SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
   const BlockPartition part(meta.grid, meta.spec);
   const int nprocs = meta.spec.num_tasks();
   mp::Cluster cluster(nprocs, machine);
+  cluster.set_event_sink(sink);
 
   std::vector<Env> envs;
   envs.reserve(static_cast<std::size_t>(nprocs));

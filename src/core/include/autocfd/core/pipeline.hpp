@@ -43,8 +43,12 @@ struct ParallelProgram {
   Report report;
   std::string parallel_source;  // printed SPMD source with MPI calls
 
-  [[nodiscard]] codegen::SpmdRunResult run(const mp::MachineConfig& machine) {
-    return codegen::run_spmd(file, meta, machine);
+  /// Executes on the simulated cluster. Attach an event sink (e.g. a
+  /// trace::TraceRecorder) to capture the run's full event stream;
+  /// meta.tags resolves its message tags back to sync-plan sites.
+  [[nodiscard]] codegen::SpmdRunResult run(const mp::MachineConfig& machine,
+                                           mp::EventSink* sink = nullptr) {
+    return codegen::run_spmd(file, meta, machine, sink);
   }
 };
 

@@ -168,6 +168,8 @@ StmtPtr Stmt::clone() const {
   out->pipeline_dim = pipeline_dim;
   out->pipeline_dir = pipeline_dir;
   out->reduce_var = reduce_var;
+  out->comm_tags = comm_tags;
+  out->sync_site = sync_site;
   out->slot = slot;
   out->flops = flops;
   return out;

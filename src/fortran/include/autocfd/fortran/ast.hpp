@@ -158,6 +158,14 @@ struct Stmt {
   int pipeline_dim = -1;   // grid dimension the pipeline sweeps along
   int pipeline_dir = +1;   // +1 sweeping low->high, -1 high->low
   std::string reduce_var;  // AllReduce target scalar
+  /// Wire tags assigned by the restructurer (sync::TagRegistry ids):
+  /// HaloExchange holds one per grid dimension (-1 for uncut dims);
+  /// PipelineStart/PipelineEnd hold a single shared tag. Empty for
+  /// programs not produced by the restructurer (legacy fixed tags).
+  std::vector<int> comm_tags;
+  /// Sync-plan site of an AllReduce/Barrier (collectives carry no wire
+  /// tag); -1 when unattributed.
+  int sync_site = -1;
 
   /// Interpreter annotations (interp::ProgramImage::build): the slot of
   /// the Do variable / AllReduce scalar, and the floating-point work of

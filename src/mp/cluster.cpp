@@ -7,13 +7,35 @@
 
 namespace autocfd::mp {
 
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::Compute: return "compute";
+    case EventKind::Send: return "send";
+    case EventKind::Recv: return "recv";
+    case EventKind::AllReduce: return "allreduce";
+    case EventKind::Barrier: return "barrier";
+    case EventKind::Unreceived: return "unreceived";
+  }
+  return "?";
+}
+
 int Comm::size() const { return cluster_->size(); }
 const MachineConfig& Comm::config() const { return cluster_->config(); }
 
 void Comm::add_compute(double seconds) {
   std::lock_guard lock(cluster_->mu_);
-  cluster_->clocks_[static_cast<std::size_t>(rank_)] += seconds;
+  auto& clock = cluster_->clocks_[static_cast<std::size_t>(rank_)];
+  const double before = clock;
+  clock += seconds;
   cluster_->stats_[static_cast<std::size_t>(rank_)].compute_time += seconds;
+  if (cluster_->sink_ != nullptr) {
+    TraceEvent e;
+    e.kind = EventKind::Compute;
+    e.rank = rank_;
+    e.t0 = before;
+    e.t1 = clock;
+    cluster_->emit(e);
+  }
 }
 
 double Comm::now() const {
@@ -52,15 +74,17 @@ std::vector<double> Comm::sendrecv(int peer, int tag,
   return in;
 }
 
-double Comm::allreduce_max(double value) {
-  return cluster_->allreduce_impl(rank_, value, /*is_max=*/true);
+double Comm::allreduce_max(double value, int site) {
+  return cluster_->allreduce_impl(rank_, value, /*is_max=*/true,
+                                  EventKind::AllReduce, site);
 }
 
-double Comm::allreduce_sum(double value) {
-  return cluster_->allreduce_impl(rank_, value, /*is_max=*/false);
+double Comm::allreduce_sum(double value, int site) {
+  return cluster_->allreduce_impl(rank_, value, /*is_max=*/false,
+                                  EventKind::AllReduce, site);
 }
 
-void Comm::barrier() { cluster_->barrier_impl(rank_); }
+void Comm::barrier(int site) { cluster_->barrier_impl(rank_, site); }
 
 Cluster::Cluster(int nprocs, MachineConfig config)
     : nprocs_(nprocs), config_(config) {
@@ -75,11 +99,16 @@ double Cluster::RunResult::elapsed() const {
   return best;
 }
 
+void Cluster::emit(const TraceEvent& event) {
+  if (sink_ != nullptr) sink_->on_event(event);
+}
+
 Cluster::RunResult Cluster::run(const std::function<void(Comm&)>& fn) {
   // Reset state so a Cluster can run several programs.
   {
     std::lock_guard lock(mu_);
     channels_.clear();
+    channel_seq_.clear();
     clocks_.assign(static_cast<std::size_t>(nprocs_), 0.0);
     stats_.assign(static_cast<std::size_t>(nprocs_), RankStats{});
     coll_arrived_ = 0;
@@ -103,6 +132,25 @@ Cluster::RunResult Cluster::run(const std::function<void(Comm&)>& fn) {
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+  // Report messages that were sent but never received (channel map
+  // iteration order is deterministic, so so is the event order).
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [route, queue] : channels_) {
+      for (const auto& msg : queue) {
+        TraceEvent e;
+        e.kind = EventKind::Unreceived;
+        e.rank = route.first;
+        e.peer = route.second;
+        e.tag = msg.tag;
+        e.bytes = msg.bytes;
+        e.n_messages = msg.n_messages;
+        e.msg_id = msg.msg_id;
+        e.t0 = e.t1 = e.arrival = msg.arrival_time;
+        emit(e);
+      }
+    }
+  }
   RunResult result;
   result.ranks = stats_;
   return result;
@@ -121,11 +169,30 @@ void Cluster::send_impl(int src, int dst, int tag, std::vector<double> data,
   std::lock_guard lock(mu_);
   auto& clock = clocks_[static_cast<std::size_t>(src)];
   auto& st = stats_[static_cast<std::size_t>(src)];
+  const double before = clock;
   clock += cost;  // blocking, store-and-forward: sender pays in full
   st.comm_time += cost;
   st.messages_sent += n_messages;
   st.bytes_sent += bytes;
-  channels_[{src, dst}].push_back(Message{tag, std::move(data), clock});
+  // Deterministic message id: the per-channel sequence number. Matching
+  // is FIFO per (src, dst, tag), so the id is identical across reruns.
+  const long long msg_id = channel_seq_[{src, dst}]++;
+  channels_[{src, dst}].push_back(
+      Message{tag, std::move(data), clock, msg_id, n_messages, bytes});
+  if (sink_ != nullptr) {
+    TraceEvent e;
+    e.kind = EventKind::Send;
+    e.rank = src;
+    e.t0 = before;
+    e.t1 = clock;
+    e.peer = dst;
+    e.tag = tag;
+    e.bytes = bytes;
+    e.n_messages = n_messages;
+    e.msg_id = msg_id;
+    e.arrival = clock;  // store-and-forward: departure == arrival
+    emit(e);
+  }
   cv_.notify_all();
 }
 
@@ -144,6 +211,7 @@ std::vector<double> Cluster::recv_impl(int dst, int src, int tag) {
     });
     return match != queue.end();
   });
+  const bool fifo_skip = match != queue.begin();
   Message msg = std::move(*match);
   queue.erase(match);
   auto& clock = clocks_[static_cast<std::size_t>(dst)];
@@ -151,10 +219,30 @@ std::vector<double> Cluster::recv_impl(int dst, int src, int tag) {
   const double before = clock;
   clock = std::max(clock, msg.arrival_time);
   st.comm_time += clock - before;  // waiting counts as communication
+  st.wait_time += clock - before;
+  st.messages_received += msg.n_messages;
+  st.bytes_received += msg.bytes;
+  if (sink_ != nullptr) {
+    TraceEvent e;
+    e.kind = EventKind::Recv;
+    e.rank = dst;
+    e.t0 = before;
+    e.t1 = clock;
+    e.peer = src;
+    e.tag = tag;
+    e.bytes = msg.bytes;
+    e.n_messages = msg.n_messages;
+    e.msg_id = msg.msg_id;
+    e.arrival = msg.arrival_time;
+    e.wait = clock - before;
+    e.fifo_skip = fifo_skip;
+    emit(e);
+  }
   return std::move(msg.data);
 }
 
-double Cluster::allreduce_impl(int rank, double value, bool is_max) {
+double Cluster::allreduce_impl(int rank, double value, bool is_max,
+                               EventKind kind, int site) {
   std::unique_lock lock(mu_);
   const long long my_generation = coll_generation_;
   if (coll_arrived_ == 0) {
@@ -171,6 +259,7 @@ double Cluster::allreduce_impl(int rank, double value, bool is_max) {
   stats_[static_cast<std::size_t>(rank)].collectives += 1;
   if (coll_arrived_ == nprocs_) {
     // Tree-structured collective: log2(P) message rounds each way.
+    coll_rendezvous_ = coll_time_;
     int rounds = 0;
     for (int p = 1; p < nprocs_; p *= 2) ++rounds;
     coll_time_ += static_cast<double>(config_.collective_log_cost * rounds) *
@@ -179,7 +268,24 @@ double Cluster::allreduce_impl(int rank, double value, bool is_max) {
     ++coll_generation_;
     for (int r = 0; r < nprocs_; ++r) {
       auto& st = stats_[static_cast<std::size_t>(r)];
-      st.comm_time += coll_time_ - clocks_[static_cast<std::size_t>(r)];
+      const double entry = clocks_[static_cast<std::size_t>(r)];
+      st.comm_time += coll_time_ - entry;
+      st.wait_time += coll_rendezvous_ - entry;
+      if (sink_ != nullptr) {
+        // The last arriver emits every rank's event: blocked ranks
+        // still hold their entry clocks, and appending here keeps each
+        // rank's stream in program order.
+        TraceEvent e;
+        e.kind = kind;
+        e.rank = r;
+        e.t0 = entry;
+        e.t1 = coll_time_;
+        e.arrival = coll_rendezvous_;
+        e.wait = coll_rendezvous_ - entry;
+        e.coll_seq = my_generation;
+        e.site = site;
+        emit(e);
+      }
       clocks_[static_cast<std::size_t>(r)] = coll_time_;
     }
     cv_.notify_all();
@@ -189,6 +295,8 @@ double Cluster::allreduce_impl(int rank, double value, bool is_max) {
   return is_max ? coll_value_max_ : coll_value_sum_;
 }
 
-void Cluster::barrier_impl(int rank) { (void)allreduce_impl(rank, 0.0, true); }
+void Cluster::barrier_impl(int rank, int site) {
+  (void)allreduce_impl(rank, 0.0, /*is_max=*/true, EventKind::Barrier, site);
+}
 
 }  // namespace autocfd::mp

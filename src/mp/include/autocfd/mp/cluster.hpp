@@ -17,16 +17,25 @@
 #include <mutex>
 #include <vector>
 
+#include "autocfd/mp/events.hpp"
 #include "autocfd/mp/machine.hpp"
 
 namespace autocfd::mp {
 
-/// Per-rank cost/traffic counters.
+/// Per-rank cost/traffic counters. A sendrecv counts as two logical
+/// messages on each rank: one sent, one received. Collectives are
+/// incremented on every participating rank.
 struct RankStats {
   double compute_time = 0.0;
   double comm_time = 0.0;
+  /// Portion of comm_time spent idle: blocked in recv before the
+  /// message arrived, or blocked in a collective before the slowest
+  /// rank entered. comm_time - wait_time is transfer cost.
+  double wait_time = 0.0;
   long long messages_sent = 0;
   long long bytes_sent = 0;
+  long long messages_received = 0;
+  long long bytes_received = 0;
   long long collectives = 0;
 
   [[nodiscard]] double total_time() const { return compute_time + comm_time; }
@@ -62,9 +71,13 @@ class Comm {
   [[nodiscard]] std::vector<double> sendrecv(int peer, int tag,
                                              std::vector<double> data);
 
-  [[nodiscard]] double allreduce_max(double value);
-  [[nodiscard]] double allreduce_sum(double value);
-  void barrier();
+  /// Collectives take an optional sync-plan `site` id so an attached
+  /// EventSink can attribute the rendezvous (all ranks must pass the
+  /// same site, which holds trivially when it comes from a shared
+  /// program statement).
+  [[nodiscard]] double allreduce_max(double value, int site = -1);
+  [[nodiscard]] double allreduce_sum(double value, int site = -1);
+  void barrier(int site = -1);
 
  private:
   friend class Cluster;
@@ -80,6 +93,11 @@ class Cluster {
 
   [[nodiscard]] int size() const { return nprocs_; }
   [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+  /// Attaches an event sink for subsequent run() calls (nullptr
+  /// detaches). The sink must outlive the runs; it is invoked under
+  /// the cluster lock and must not call back into the cluster.
+  void set_event_sink(EventSink* sink) { sink_ = sink; }
 
   struct RunResult {
     std::vector<RankStats> ranks;
@@ -98,21 +116,29 @@ class Cluster {
     int tag;
     std::vector<double> data;
     double arrival_time;  // sender departure + transfer time
+    long long msg_id;     // per-channel sequence, deterministic
+    long long n_messages;
+    long long bytes;
   };
 
   void send_impl(int src, int dst, int tag, std::vector<double> data,
                  long long n_messages);
   std::vector<double> recv_impl(int dst, int src, int tag);
-  double allreduce_impl(int rank, double value, bool is_max);
-  void barrier_impl(int rank);
+  double allreduce_impl(int rank, double value, bool is_max,
+                        EventKind kind, int site);
+  void barrier_impl(int rank, int site);
+  void emit(const TraceEvent& event);
 
   int nprocs_;
   MachineConfig config_;
+  EventSink* sink_ = nullptr;
 
   std::mutex mu_;
   std::condition_variable cv_;
   // (src, dst) -> FIFO of messages.
   std::map<std::pair<int, int>, std::deque<Message>> channels_;
+  // (src, dst) -> count of messages ever pushed (msg_id source).
+  std::map<std::pair<int, int>, long long> channel_seq_;
   std::vector<double> clocks_;
   std::vector<RankStats> stats_;
 
@@ -122,6 +148,7 @@ class Cluster {
   double coll_value_max_ = 0.0;
   double coll_value_sum_ = 0.0;
   double coll_time_ = 0.0;
+  double coll_rendezvous_ = 0.0;  // slowest entry clock, pre-cost
 };
 
 }  // namespace autocfd::mp

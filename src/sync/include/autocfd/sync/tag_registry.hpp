@@ -1,0 +1,63 @@
+// Registry attributing wire traffic back to the synchronization plan.
+//
+// The restructurer registers one CommSite per communication-emitting
+// construct it generates — each (combined synchronization point, cut
+// dimension) halo exchange, each (pipeline, dimension, direction)
+// boundary hand-off, each reduction — and stamps the returned id into
+// the emitted statement. Point-to-point messages carry the id as their
+// MPI tag; collectives pass it as the `site` of the rendezvous. A
+// trace consumer can then resolve every event of a run to the sync
+// plan region that caused it ("which halo exchange dominates the
+// critical path?"). Ids are assigned in restructuring order, which is
+// identical on every rank because the registry is built once, before
+// the program runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autocfd::sync {
+
+/// One communication-emitting construct of the restructured program.
+struct CommSite {
+  enum class Kind {
+    Halo,        // aggregated ghost exchange at a combined sync point
+    Pipeline,    // mirror-image sweep boundary hand-off
+    Collective,  // allreduce / barrier
+  };
+
+  Kind kind = Kind::Halo;
+  /// Ordinal of the construct within its kind: combined-sync-point
+  /// index, pipeline index, or reduction index.
+  int ordinal = -1;
+  int dim = -1;  // grid dimension (Halo and Pipeline sites)
+  int dir = 0;   // sweep direction (Pipeline sites): +1 or -1
+  std::string label;
+
+  [[nodiscard]] static const char* kind_name(Kind kind);
+};
+
+/// Append-only table of CommSites; the site id doubles as the message
+/// tag, so ids are dense and start at 0.
+class TagRegistry {
+ public:
+  /// Registers a site and returns its id/tag.
+  int add(CommSite site);
+
+  /// Resolves a tag to its site, or nullptr for unregistered tags
+  /// (hand-written cluster programs, legacy fixed tags).
+  [[nodiscard]] const CommSite* find(int tag) const;
+
+  /// Human-readable label for a tag: the site label when registered,
+  /// otherwise "tag <n>".
+  [[nodiscard]] std::string label(int tag) const;
+
+  [[nodiscard]] std::size_t size() const { return sites_.size(); }
+  [[nodiscard]] bool empty() const { return sites_.empty(); }
+  [[nodiscard]] const std::vector<CommSite>& sites() const { return sites_; }
+
+ private:
+  std::vector<CommSite> sites_;
+};
+
+}  // namespace autocfd::sync

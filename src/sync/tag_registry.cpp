@@ -1,0 +1,31 @@
+#include "autocfd/sync/tag_registry.hpp"
+
+namespace autocfd::sync {
+
+const char* CommSite::kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::Halo: return "halo";
+    case Kind::Pipeline: return "pipeline";
+    case Kind::Collective: return "collective";
+  }
+  return "?";
+}
+
+int TagRegistry::add(CommSite site) {
+  sites_.push_back(std::move(site));
+  return static_cast<int>(sites_.size()) - 1;
+}
+
+const CommSite* TagRegistry::find(int tag) const {
+  if (tag < 0 || static_cast<std::size_t>(tag) >= sites_.size()) {
+    return nullptr;
+  }
+  return &sites_[static_cast<std::size_t>(tag)];
+}
+
+std::string TagRegistry::label(int tag) const {
+  if (const auto* site = find(tag)) return site->label;
+  return "tag " + std::to_string(tag);
+}
+
+}  // namespace autocfd::sync

@@ -1,0 +1,145 @@
+#include "autocfd/trace/check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace autocfd::trace {
+
+using mp::EventKind;
+using mp::TraceEvent;
+
+const char* Finding::kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::UnreceivedMessage: return "unreceived message";
+    case Kind::TagMismatch: return "tag mismatch";
+    case Kind::NonFifoMatch: return "non-FIFO match";
+    case Kind::RendezvousImbalance: return "rendezvous imbalance";
+  }
+  return "?";
+}
+
+std::vector<Finding> check_trace(const Trace& trace,
+                                 const CheckOptions& options) {
+  std::vector<Finding> findings;
+
+  // Tags each receiver successfully matched, per (src, dst) channel —
+  // the evidence separating "never received" from "received the wrong
+  // tag instead".
+  std::map<std::pair<int, int>, std::set<int>> received_tags;
+  for (const auto& events : trace.per_rank) {
+    for (const auto& e : events) {
+      if (e.kind == EventKind::Recv) {
+        received_tags[{e.peer, e.rank}].insert(e.tag);
+      }
+    }
+  }
+
+  for (const auto& e : trace.unreceived) {
+    Finding f;
+    f.rank = e.rank;
+    f.peer = e.peer;
+    f.tag = e.tag;
+    f.time = e.arrival;
+    const auto it = received_tags.find({e.rank, e.peer});
+    std::ostringstream os;
+    if (it != received_tags.end() && !it->second.empty() &&
+        it->second.count(e.tag) == 0) {
+      f.kind = Finding::Kind::TagMismatch;
+      os << "message rank " << e.rank << " -> " << e.peer << " tag " << e.tag
+         << " (" << e.bytes << " B) was never received, but the receiver "
+         << "completed receives from this sender with other tags";
+    } else {
+      f.kind = Finding::Kind::UnreceivedMessage;
+      os << "message rank " << e.rank << " -> " << e.peer << " tag " << e.tag
+         << " (" << e.bytes << " B) was still queued when the run ended";
+    }
+    f.detail = os.str();
+    findings.push_back(std::move(f));
+  }
+
+  for (const auto& events : trace.per_rank) {
+    for (const auto& e : events) {
+      if (e.kind == EventKind::Recv && e.fifo_skip) {
+        Finding f;
+        f.kind = Finding::Kind::NonFifoMatch;
+        f.rank = e.rank;
+        f.peer = e.peer;
+        f.tag = e.tag;
+        f.time = e.t1;
+        std::ostringstream os;
+        os << "rank " << e.rank << " matched tag " << e.tag << " from rank "
+           << e.peer << " past older queued messages with different tags";
+        f.detail = os.str();
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+
+  // Rendezvous imbalance: entry spread per collective generation.
+  struct CollSpan {
+    double min_entry = 0.0;
+    double max_entry = 0.0;
+    int slowest = -1;
+    int fastest = -1;
+    bool seen = false;
+  };
+  std::map<long long, CollSpan> spans;
+  for (const auto& events : trace.per_rank) {
+    for (const auto& e : events) {
+      if (e.kind != EventKind::AllReduce && e.kind != EventKind::Barrier) {
+        continue;
+      }
+      auto& span = spans[e.coll_seq];
+      if (!span.seen || e.t0 < span.min_entry) {
+        span.min_entry = e.t0;
+        span.fastest = e.rank;
+      }
+      if (!span.seen || e.t0 > span.max_entry) {
+        span.max_entry = e.t0;
+        span.slowest = e.rank;
+      }
+      span.seen = true;
+    }
+  }
+  for (const auto& [seq, span] : spans) {
+    const double spread = span.max_entry - span.min_entry;
+    if (spread <= options.rendezvous_imbalance_threshold) continue;
+    Finding f;
+    f.kind = Finding::Kind::RendezvousImbalance;
+    f.rank = span.slowest;
+    f.time = span.max_entry;
+    std::ostringstream os;
+    os << "collective #" << seq << ": rank " << span.fastest << " waited "
+       << spread << " s of virtual time for rank " << span.slowest;
+    f.detail = os.str();
+    findings.push_back(std::move(f));
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     const auto sev = [](Finding::Kind k) {
+                       switch (k) {
+                         case Finding::Kind::TagMismatch: return 0;
+                         case Finding::Kind::UnreceivedMessage: return 1;
+                         case Finding::Kind::NonFifoMatch: return 2;
+                         case Finding::Kind::RendezvousImbalance: return 3;
+                       }
+                       return 4;
+                     };
+                     if (sev(a.kind) != sev(b.kind)) {
+                       return sev(a.kind) < sev(b.kind);
+                     }
+                     return a.time < b.time;
+                   });
+  return findings;
+}
+
+bool communication_clean(const std::vector<Finding>& findings) {
+  return std::none_of(findings.begin(), findings.end(), [](const Finding& f) {
+    return f.kind != Finding::Kind::RendezvousImbalance;
+  });
+}
+
+}  // namespace autocfd::trace

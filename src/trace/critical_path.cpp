@@ -1,0 +1,154 @@
+#include "autocfd/trace/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace autocfd::trace {
+
+using mp::EventKind;
+using mp::TraceEvent;
+
+namespace {
+
+struct EventRef {
+  int rank = -1;
+  std::size_t index = 0;
+};
+
+bool is_collective(EventKind kind) {
+  return kind == EventKind::AllReduce || kind == EventKind::Barrier;
+}
+
+}  // namespace
+
+CriticalPath critical_path(const Trace& trace) {
+  CriticalPath path;
+
+  // Index sends by (src, dst, msg_id) and, per collective generation,
+  // the slowest entrant (ties toward the lower rank, which the
+  // rank-major scan yields for free).
+  std::map<std::tuple<int, int, long long>, EventRef> sends;
+  std::map<long long, EventRef> slowest_entrant;
+  for (int r = 0; r < trace.nranks; ++r) {
+    const auto& events = trace.per_rank[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const TraceEvent& e = events[i];
+      if (e.kind == EventKind::Send) {
+        sends[{e.rank, e.peer, e.msg_id}] = EventRef{r, i};
+      } else if (is_collective(e.kind)) {
+        const auto it = slowest_entrant.find(e.coll_seq);
+        if (it == slowest_entrant.end()) {
+          slowest_entrant[e.coll_seq] = EventRef{r, i};
+        } else {
+          const TraceEvent& best =
+              trace.per_rank[static_cast<std::size_t>(it->second.rank)]
+                            [it->second.index];
+          if (e.t0 > best.t0) it->second = EventRef{r, i};
+        }
+      }
+    }
+  }
+
+  // Terminal: the last event of the rank realizing the final clock.
+  EventRef cur{-1, 0};
+  double best_end = -1.0;
+  for (int r = 0; r < trace.nranks; ++r) {
+    const auto& events = trace.per_rank[static_cast<std::size_t>(r)];
+    if (!events.empty() && events.back().t1 > best_end) {
+      best_end = events.back().t1;
+      cur = EventRef{r, events.size() - 1};
+    }
+  }
+  if (cur.rank < 0) return path;
+
+  // Backward walk. Each step covers a suffix of virtual time and hands
+  // off to a predecessor ending exactly where the step begins, so the
+  // contributions telescope to elapsed().
+  std::vector<PathStep> steps;
+  while (cur.rank >= 0) {
+    const auto& events = trace.per_rank[static_cast<std::size_t>(cur.rank)];
+    const TraceEvent& e = events[cur.index];
+    PathStep step;
+    step.event = &e;
+    EventRef pred{cur.rank, cur.index};  // default: in-rank predecessor
+
+    if (e.kind == EventKind::Recv && e.wait > 0.0) {
+      // The receiver idled: the path is on the sender's chain, plus
+      // the wire edge from departure to arrival.
+      const auto it = sends.find({e.peer, e.rank, e.msg_id});
+      if (it != sends.end()) {
+        const TraceEvent& send =
+            trace.per_rank[static_cast<std::size_t>(it->second.rank)]
+                          [it->second.index];
+        step.contribution = e.t1 - e.arrival;  // 0: completion == arrival
+        step.edge = e.arrival - send.t1;
+        steps.push_back(step);
+        path.transfer += step.edge;
+        cur = it->second;  // the send event itself is the next step
+        continue;
+      }
+      // No matching send recorded (partial trace): fall through to the
+      // in-rank predecessor and absorb the wait into the path.
+      step.contribution = e.t1 - e.t0;
+    } else if (is_collective(e.kind)) {
+      // The collective costs tree time after the rendezvous; the time
+      // before the rendezvous belongs to the slowest entrant's chain.
+      step.contribution = e.t1 - e.arrival;
+      path.collective += step.contribution;
+      const auto it = slowest_entrant.find(e.coll_seq);
+      if (it != slowest_entrant.end() &&
+          (it->second.rank != cur.rank || it->second.index != cur.index)) {
+        // Skip the slowest entrant's own collective event (its span is
+        // already counted here) and continue from its predecessor.
+        pred = it->second;
+      }
+    } else {
+      step.contribution = e.t1 - e.t0;
+      if (e.kind == EventKind::Compute) {
+        path.compute += step.contribution;
+      } else if (e.kind == EventKind::Send) {
+        path.transfer += step.contribution;
+      }
+    }
+
+    steps.push_back(step);
+    if (pred.index == 0) break;  // reached the start of a rank (t = 0)
+    cur = EventRef{pred.rank, pred.index - 1};
+  }
+
+  std::reverse(steps.begin(), steps.end());
+  path.steps = std::move(steps);
+  for (const auto& s : path.steps) path.length += s.contribution + s.edge;
+  return path;
+}
+
+std::vector<RankBreakdown> rank_breakdown(const Trace& trace) {
+  std::vector<RankBreakdown> out(static_cast<std::size_t>(trace.nranks));
+  for (int r = 0; r < trace.nranks; ++r) {
+    auto& b = out[static_cast<std::size_t>(r)];
+    for (const auto& e : trace.per_rank[static_cast<std::size_t>(r)]) {
+      switch (e.kind) {
+        case EventKind::Compute:
+          b.compute += e.t1 - e.t0;
+          break;
+        case EventKind::Send:
+          b.transfer += e.t1 - e.t0;
+          break;
+        case EventKind::Recv:
+          b.wait += e.wait;
+          break;
+        case EventKind::AllReduce:
+        case EventKind::Barrier:
+          b.wait += e.wait;
+          b.transfer += e.t1 - e.arrival;
+          break;
+        case EventKind::Unreceived:
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace autocfd::trace

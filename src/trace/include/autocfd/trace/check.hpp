@@ -1,0 +1,62 @@
+// Post-run communication-correctness checker.
+//
+// A completed cluster run can still be wrong in ways aggregate stats
+// never show: a generated SPMD program may leave messages undelivered
+// (a sync point emitted on one side of a branch only), match the wrong
+// message because two sync points share a tag, or silently serialize
+// because one rank enters every rendezvous late. The checker replays
+// the event stream and flags:
+//   * unreceived messages — sent but still queued when the run ended;
+//   * tag mismatches — an unreceived message on a channel whose
+//     receiver *did* complete receives with other tags (the classic
+//     symptom of mismatched sync-point pairing);
+//   * non-FIFO matches — a receive that skipped older queued messages
+//     with different tags (legal MPI, deadlock-prone in generated
+//     halo-exchange code);
+//   * rendezvous imbalance — collectives whose entry spread exceeds a
+//     threshold, i.e. a structurally serialized program.
+// A clean report is the tracer's "no deadlock, no mismatch" verdict
+// for the run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autocfd/trace/recorder.hpp"
+
+namespace autocfd::trace {
+
+struct Finding {
+  enum class Kind {
+    UnreceivedMessage,
+    TagMismatch,
+    NonFifoMatch,
+    RendezvousImbalance,
+  };
+
+  Kind kind = Kind::UnreceivedMessage;
+  int rank = -1;  // acting rank (sender for message findings)
+  int peer = -1;
+  int tag = -1;
+  double time = 0.0;  // virtual time the anomaly materialized
+  std::string detail;
+
+  [[nodiscard]] static const char* kind_name(Kind kind);
+};
+
+struct CheckOptions {
+  /// A collective whose slowest and fastest entries differ by more
+  /// than this many seconds of virtual time is flagged.
+  double rendezvous_imbalance_threshold = 50e-3;
+};
+
+/// Runs every check over the trace. Findings are ordered by severity
+/// (mismatches first), then by virtual time.
+[[nodiscard]] std::vector<Finding> check_trace(const Trace& trace,
+                                               const CheckOptions& options = {});
+
+/// True when no finding indicates a correctness problem (imbalance is
+/// advisory; unreceived/mismatch/non-FIFO are not).
+[[nodiscard]] bool communication_clean(const std::vector<Finding>& findings);
+
+}  // namespace autocfd::trace

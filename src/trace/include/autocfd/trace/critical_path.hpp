@@ -1,0 +1,59 @@
+// Happens-before analysis of a cluster trace.
+//
+// The events of a run form a DAG: each rank's events are chained in
+// program order, every receive has an incoming edge from its matched
+// send, and every collective has incoming edges from all of its
+// entrants (realized by its slowest one). The *critical path* is the
+// chain of compute spans, send costs, message-transfer edges and
+// collective tree costs whose lengths sum to the run's elapsed virtual
+// time — the thing an optimization must shorten to make the program
+// faster. Waiting never appears on the path: wherever a rank idles,
+// the path is on the rank being waited for.
+#pragma once
+
+#include <vector>
+
+#include "autocfd/trace/recorder.hpp"
+
+namespace autocfd::trace {
+
+/// One step of the critical path (forward order).
+struct PathStep {
+  const mp::TraceEvent* event = nullptr;
+  /// Virtual time this event accounts for on the path: full duration
+  /// for compute/send, the tree cost for collectives, 0 for receives
+  /// (their wait is attributed to the sender's chain).
+  double contribution = 0.0;
+  /// Message-transfer edge entering this step (sender departure to
+  /// arrival). Zero under the store-and-forward model, kept for
+  /// overlap-capable models.
+  double edge = 0.0;
+};
+
+struct CriticalPath {
+  std::vector<PathStep> steps;
+  double length = 0.0;      // sum of contributions + edges == elapsed()
+  double compute = 0.0;     // compute spans on the path
+  double transfer = 0.0;    // send costs + transfer edges on the path
+  double collective = 0.0;  // collective tree costs on the path
+};
+
+/// Extracts the critical path by walking the happens-before DAG
+/// backward from the event realizing the final clock. Deterministic:
+/// ties break toward the lower rank.
+[[nodiscard]] CriticalPath critical_path(const Trace& trace);
+
+/// Per-rank time decomposition recovered from the event stream.
+/// compute + transfer + wait equals the rank's final clock;
+/// transfer + wait equals its RankStats::comm_time.
+struct RankBreakdown {
+  double compute = 0.0;
+  double transfer = 0.0;  // send costs + collective tree costs
+  double wait = 0.0;      // idle at recv + idle at collective entry
+
+  [[nodiscard]] double total() const { return compute + transfer + wait; }
+};
+
+[[nodiscard]] std::vector<RankBreakdown> rank_breakdown(const Trace& trace);
+
+}  // namespace autocfd::trace

@@ -1,0 +1,33 @@
+// Trace exporters.
+//
+// write_chrome_trace emits the Chrome trace_event JSON format — open
+// the file in chrome://tracing or https://ui.perfetto.dev to see every
+// rank as a timeline row with compute spans, sends, waits and
+// collectives, plus flow arrows connecting each send to its receive.
+// text_report renders the same run as a terminal summary: per-rank
+// compute/transfer/wait decomposition, the critical path with its top
+// contributing sync-plan sites, and the correctness checker's verdict.
+// Both accept the sync::TagRegistry of the run (when the program came
+// out of the restructurer) to label events with the synchronization
+// point that caused them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "autocfd/sync/tag_registry.hpp"
+#include "autocfd/trace/recorder.hpp"
+
+namespace autocfd::trace {
+
+/// Writes the run as Chrome trace_event JSON ("ts" in microseconds of
+/// virtual time, one thread lane per rank).
+void write_chrome_trace(std::ostream& os, const Trace& trace,
+                        const sync::TagRegistry* tags = nullptr);
+
+/// Full terminal report: breakdown table, critical path, checker
+/// findings.
+[[nodiscard]] std::string text_report(const Trace& trace,
+                                      const sync::TagRegistry* tags = nullptr);
+
+}  // namespace autocfd::trace

@@ -1,0 +1,49 @@
+// TraceRecorder: the standard EventSink of the simulated cluster.
+//
+// Collects the event stream of one Cluster::run into per-rank vectors
+// (each in that rank's program order, hence deterministic across
+// reruns regardless of host scheduling) plus the post-run list of
+// unreceived messages. The resulting Trace is the input to the
+// critical-path analysis, the correctness checker, and the exporters.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "autocfd/mp/events.hpp"
+
+namespace autocfd::trace {
+
+/// A completed run's event record.
+struct Trace {
+  int nranks = 0;
+  /// Per-rank events in program order. Virtual-time intervals of one
+  /// rank are contiguous: every clock advance is an event.
+  std::vector<std::vector<mp::TraceEvent>> per_rank;
+  /// Messages sent but never received (rank == sender).
+  std::vector<mp::TraceEvent> unreceived;
+
+  [[nodiscard]] std::size_t event_count() const;
+  /// Slowest rank's final clock — equals Cluster::RunResult::elapsed().
+  [[nodiscard]] double elapsed() const;
+};
+
+class TraceRecorder final : public mp::EventSink {
+ public:
+  /// Called by the cluster under its lock; also safe to call from a
+  /// single thread directly (hand-built traces in tests).
+  void on_event(const mp::TraceEvent& event) override;
+
+  /// Drops everything recorded so far (reuse across runs).
+  void clear();
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  /// Moves the trace out, leaving the recorder empty.
+  [[nodiscard]] Trace take();
+
+ private:
+  mutable std::mutex mu_;
+  Trace trace_;
+};
+
+}  // namespace autocfd::trace

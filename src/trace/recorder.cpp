@@ -1,0 +1,49 @@
+#include "autocfd/trace/recorder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace autocfd::trace {
+
+std::size_t Trace::event_count() const {
+  std::size_t n = unreceived.size();
+  for (const auto& v : per_rank) n += v.size();
+  return n;
+}
+
+double Trace::elapsed() const {
+  double best = 0.0;
+  for (const auto& v : per_rank) {
+    if (!v.empty()) best = std::max(best, v.back().t1);
+  }
+  return best;
+}
+
+void TraceRecorder::on_event(const mp::TraceEvent& event) {
+  std::lock_guard lock(mu_);
+  if (event.kind == mp::EventKind::Unreceived) {
+    trace_.unreceived.push_back(event);
+    return;
+  }
+  if (event.rank < 0) return;
+  const auto r = static_cast<std::size_t>(event.rank);
+  if (r >= trace_.per_rank.size()) {
+    trace_.per_rank.resize(r + 1);
+    trace_.nranks = event.rank + 1;
+  }
+  trace_.per_rank[r].push_back(event);
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mu_);
+  trace_ = Trace{};
+}
+
+Trace TraceRecorder::take() {
+  std::lock_guard lock(mu_);
+  Trace out = std::move(trace_);
+  trace_ = Trace{};
+  return out;
+}
+
+}  // namespace autocfd::trace

@@ -240,6 +240,93 @@ TEST(ClusterRun, ChunkedSendPaysPerMessageLatency) {
   EXPECT_EQ(msgs, 50);
 }
 
+TEST(ClusterRun, ChunkedSendPaysByteCostOnce) {
+  // n_messages x latency plus the byte cost exactly once.
+  MachineConfig cfg;
+  cfg.net_latency = 1e-3;
+  cfg.net_byte_time = 1e-6;
+  Cluster cluster(2, cfg);
+  double sender_clock = 0.0;
+  auto result = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_chunked(1, 0, std::vector<double>(10, 0.0), 5);  // 80 bytes
+      sender_clock = comm.now();
+    } else {
+      (void)comm.recv(0, 0);
+    }
+  });
+  EXPECT_NEAR(sender_clock, 5e-3 + 80e-6, 1e-12);
+  EXPECT_EQ(result.ranks[0].messages_sent, 5);
+  EXPECT_EQ(result.ranks[0].bytes_sent, 80);
+  // The single matching recv logs the same logical message count.
+  EXPECT_EQ(result.ranks[1].messages_received, 5);
+  EXPECT_EQ(result.ranks[1].bytes_received, 80);
+}
+
+TEST(ClusterRun, RecvWaitTimeIsArrivalMinusRecvClock) {
+  // The quantity the tracer reports: max(recv clock, arrival) - recv
+  // clock. Receiver reaches the recv at 1 ms; the message arrives at
+  // sender departure (10 ms) + latency (1 ms) = 11 ms -> 10 ms wait.
+  MachineConfig cfg;
+  cfg.net_latency = 1e-3;
+  cfg.net_byte_time = 0.0;
+  Cluster cluster(2, cfg);
+  auto result = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.add_compute(10e-3);
+      comm.send(1, 0, {42.0});
+    } else {
+      comm.add_compute(1e-3);
+      (void)comm.recv(0, 0);
+    }
+  });
+  EXPECT_NEAR(result.ranks[1].wait_time, 10e-3, 1e-12);
+  EXPECT_NEAR(result.ranks[1].comm_time, 10e-3, 1e-12);
+  // The sender's comm time is pure transfer, not waiting.
+  EXPECT_NEAR(result.ranks[0].wait_time, 0.0, 1e-12);
+  EXPECT_NEAR(result.ranks[0].comm_time, 1e-3, 1e-12);
+}
+
+TEST(ClusterRun, SendrecvCountsTwoLogicalMessagesPerRank) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  auto result = cluster.run([](Comm& comm) {
+    (void)comm.sendrecv(1 - comm.rank(), 3, {1.0, 2.0});
+  });
+  for (int r = 0; r < 2; ++r) {
+    const auto& st = result.ranks[static_cast<std::size_t>(r)];
+    EXPECT_EQ(st.messages_sent, 1);
+    EXPECT_EQ(st.messages_received, 1);
+    EXPECT_EQ(st.bytes_sent, 16);
+    EXPECT_EQ(st.bytes_received, 16);
+  }
+}
+
+TEST(ClusterRun, CollectivesIncrementOnEveryRank) {
+  Cluster cluster(3, MachineConfig::pentium_ethernet_1999());
+  auto result = cluster.run([](Comm& comm) {
+    comm.barrier();
+    (void)comm.allreduce_sum(1.0);
+    (void)comm.allreduce_max(2.0);
+  });
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(result.ranks[static_cast<std::size_t>(r)].collectives, 3);
+  }
+}
+
+TEST(ClusterRun, CollectiveWaitChargedToEarlyRanks) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  auto result = cluster.run([](Comm& comm) {
+    if (comm.rank() == 1) comm.add_compute(5e-3);
+    comm.barrier();
+  });
+  // Rank 0 idles 5 ms at the rendezvous; rank 1 arrives last and waits
+  // for nobody. Both pay the tree cost on top (comm_time > wait_time).
+  EXPECT_NEAR(result.ranks[0].wait_time, 5e-3, 1e-12);
+  EXPECT_NEAR(result.ranks[1].wait_time, 0.0, 1e-12);
+  EXPECT_GT(result.ranks[0].comm_time, result.ranks[0].wait_time);
+  EXPECT_GT(result.ranks[1].comm_time, 0.0);
+}
+
 TEST(ClusterRun, CommTimePlusComputeEqualsClock) {
   Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
   std::vector<double> clocks(2);
