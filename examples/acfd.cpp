@@ -2,19 +2,36 @@
 //
 //   acfd input.f [-o output.f] [--partition 4x1x1 | --nprocs 6]
 //        [--strategy min|pairwise|none] [--run] [--report]
+//        [--explain[=text|json]] [--profile] [--metrics-out m.json]
 //
 // Reads a sequential Fortran CFD program (directives embedded as
 // !$acfd comments or overridden on the command line), writes the SPMD
 // message-passing program, prints the optimization report, and — with
 // --run — executes both versions on the simulated cluster and checks
 // they agree.
+//
+// Observability:
+//   --explain          print why every decision was taken (the
+//                      decision-provenance log); =json emits the log as
+//                      a single JSON document on stdout and moves all
+//                      human-readable chatter to stderr, so
+//                      `acfd ... --explain=json | python3 -m json.tool`
+//                      round-trips.
+//   --profile          print the pass profile (per-phase wall time and
+//                      counters).
+//   --metrics-out F    write the unified metrics registry (compile
+//                      phases; plus per-rank runtime histograms when
+//                      --run is given) as JSON to F.
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <sstream>
 
 #include "autocfd/core/pipeline.hpp"
 #include "autocfd/fortran/parser.hpp"
+#include "autocfd/trace/metrics_bridge.hpp"
+#include "autocfd/trace/recorder.hpp"
 
 namespace {
 
@@ -28,7 +45,12 @@ void usage() {
       "  --nprocs N         processor count for the partition search\n"
       "  --strategy S       sync combining: min (default) | pairwise | none\n"
       "  --run              execute on the simulated cluster and validate\n"
-      "  --report           print the analysis report only (no output file)\n");
+      "  --report           print the analysis report only (no output file)\n"
+      "  --explain[=FMT]    print decision provenance; FMT: text | json\n"
+      "                     (json: the log goes to stdout alone, human\n"
+      "                     output to stderr)\n"
+      "  --profile          print per-phase wall times and counters\n"
+      "  --metrics-out F    write unified metrics JSON to F\n");
 }
 
 }  // namespace
@@ -43,9 +65,11 @@ int main(int argc, char** argv) {
   std::string input_path = argv[1];
   std::string output_path;
   std::string partition_arg;
+  std::string metrics_path;
   int nprocs = 0;
   auto strategy = sync::CombineStrategy::Min;
   bool run = false, report_only = false;
+  bool explain = false, explain_json = false, profile = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -75,11 +99,23 @@ int main(int argc, char** argv) {
       run = true;
     } else if (arg == "--report") {
       report_only = true;
+    } else if (arg == "--explain" || arg == "--explain=text") {
+      explain = true;
+    } else if (arg == "--explain=json") {
+      explain = explain_json = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--metrics-out") {
+      metrics_path = next();
     } else {
       usage();
       return 2;
     }
   }
+
+  // In --explain=json mode stdout carries exactly one JSON document;
+  // everything human-readable goes to stderr instead.
+  std::FILE* const chat = explain_json ? stderr : stdout;
 
   std::ifstream in(input_path);
   if (!in) {
@@ -102,12 +138,17 @@ int main(int argc, char** argv) {
     }
     if (nprocs > 0) dirs.nprocs = nprocs;
 
-    auto program = core::parallelize(source, dirs, strategy);
+    obs::ObsContext obs;
+    const bool want_obs = explain || profile || !metrics_path.empty();
+    auto program =
+        core::parallelize(source, dirs, strategy, want_obs ? &obs : nullptr);
     const auto& rep = program->report;
-    std::printf("acfd: partition %s, %d field loops, %d dependence pairs\n",
-                program->meta.spec.str().c_str(), rep.field_loops,
-                rep.dependence_pairs);
-    std::printf(
+    std::fprintf(chat,
+                 "acfd: partition %s, %d field loops, %d dependence pairs\n",
+                 program->meta.spec.str().c_str(), rep.field_loops,
+                 rep.dependence_pairs);
+    std::fprintf(
+        chat,
         "acfd: %d synchronization points -> %d after combining (%.1f%%), "
         "%d pipelined sweep(s), %d mirror-image\n",
         rep.syncs_before, rep.syncs_after, rep.optimization_percent,
@@ -123,12 +164,14 @@ int main(int argc, char** argv) {
       }
       std::ofstream out(output_path);
       out << program->parallel_source;
-      std::printf("acfd: wrote %s\n", output_path.c_str());
+      std::fprintf(chat, "acfd: wrote %s\n", output_path.c_str());
     }
 
     if (run) {
       const auto machine = mp::MachineConfig::pentium_ethernet_1999();
-      auto par = program->run(machine);
+      trace::TraceRecorder recorder;
+      auto par = program->run(machine,
+                              metrics_path.empty() ? nullptr : &recorder);
       auto seq_file = fortran::parse_source(source);
       const auto seq = codegen::run_sequential_timed(
           seq_file, dirs.status_arrays, machine);
@@ -142,18 +185,45 @@ int main(int argc, char** argv) {
               std::max(max_diff, std::abs(sit->second[i] - pit->second[i]));
         }
       }
-      std::printf(
+      std::fprintf(
+          chat,
           "acfd: sequential %.4f s, parallel %.4f s on %d ranks "
           "(speedup %.2f), max deviation %g\n",
           seq.elapsed, par.elapsed, program->meta.spec.num_tasks(),
           seq.elapsed / par.elapsed, max_diff);
+      if (!metrics_path.empty()) {
+        trace::trace_to_metrics(recorder.trace(), obs.metrics);
+      }
       if (max_diff != 0.0) {
         std::fprintf(stderr, "acfd: VALIDATION FAILED\n");
         return 1;
       }
     }
+
+    if (profile) {
+      std::fprintf(chat, "\n%s", obs.profiler.text_report().c_str());
+    }
+    if (explain && !explain_json) {
+      std::fprintf(stdout, "\n%s", obs.provenance.text_report().c_str());
+    }
+    if (explain_json) {
+      std::ostringstream os;
+      obs.provenance.write_json(os);
+      std::fprintf(stdout, "%s\n", os.str().c_str());
+    }
+    if (!metrics_path.empty()) {
+      obs.export_profile_to_metrics();
+      std::ofstream mos(metrics_path);
+      obs.metrics.write_json(mos);
+      std::fprintf(chat, "acfd: wrote %s\n", metrics_path.c_str());
+    }
   } catch (const CompileError& e) {
     std::fprintf(stderr, "acfd: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // Anything else (bad directive files, malformed partition specs,
+    // I/O failures) must exit cleanly too, never abort on a throw.
+    std::fprintf(stderr, "acfd: error: %s\n", e.what());
     return 1;
   }
   return 0;

@@ -1,0 +1,34 @@
+!$acfd grid 64 48
+!$acfd status t told
+!$acfd nprocs 4
+program heat
+parameter (nx = 64, ny = 48)
+real t(nx, ny), told(nx, ny)
+real errmax, eps
+integer i, j, it
+
+! hot west wall, cold elsewhere
+do j = 1, ny
+  t(1, j) = 100.0
+end do
+
+eps = 1.0e-3
+do it = 1, 500
+  errmax = 0.0
+  do i = 1, nx
+    do j = 1, ny
+      told(i, j) = t(i, j)
+    end do
+  end do
+  do i = 2, nx - 1
+    do j = 2, ny - 1
+      t(i, j) = 0.25 * (told(i - 1, j) + told(i + 1, j) &
+              + told(i, j - 1) + told(i, j + 1))
+      errmax = max(errmax, abs(t(i, j) - told(i, j)))
+    end do
+  end do
+  if (errmax .lt. eps) goto 99
+end do
+99 continue
+write(6,*) 'residual', errmax
+end

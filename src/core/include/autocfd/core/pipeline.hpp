@@ -20,6 +20,7 @@
 #include "autocfd/codegen/restructure.hpp"
 #include "autocfd/codegen/spmd_runtime.hpp"
 #include "autocfd/core/directives.hpp"
+#include "autocfd/obs/obs.hpp"
 
 namespace autocfd::core {
 
@@ -55,18 +56,24 @@ struct ParallelProgram {
 /// Runs the whole pre-compiler. Throws CompileError on any hard error.
 /// `strategy` selects how synchronizations are combined (the ablation
 /// benches compare Min against Pairwise and None).
+/// With an observability context, every pipeline phase is timed into
+/// `obs->profiler` (wall time + phase counters), every classification /
+/// hoisting / combining decision lands in `obs->provenance`, and the
+/// profile is exported into `obs->metrics` under "compile.*".
 [[nodiscard]] std::unique_ptr<ParallelProgram> parallelize(
     std::string_view source, const Directives& directives,
-    sync::CombineStrategy strategy = sync::CombineStrategy::Min);
+    sync::CombineStrategy strategy = sync::CombineStrategy::Min,
+    obs::ObsContext* obs = nullptr);
 
 /// Directive extraction + parallelize in one call.
 [[nodiscard]] std::unique_ptr<ParallelProgram> parallelize(
-    std::string_view source);
+    std::string_view source, obs::ObsContext* obs = nullptr);
 
 /// Analysis-only entry point: computes the report (sync counts etc.)
 /// for one partition without restructuring. Used by the Table 1 bench
 /// to sweep partitions cheaply.
 [[nodiscard]] Report analyze_only(std::string_view source,
-                                  const Directives& directives);
+                                  const Directives& directives,
+                                  obs::ObsContext* obs = nullptr);
 
 }  // namespace autocfd::core

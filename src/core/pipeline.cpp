@@ -7,6 +7,9 @@ namespace autocfd::core {
 
 namespace {
 
+using obs::ObsContext;
+using PhaseTimer = obs::PassProfiler::PhaseTimer;
+
 struct Analysis {
   std::map<std::string, std::vector<ir::FieldLoop>> loops_by_unit;
   depend::ProgramTrace trace;
@@ -18,18 +21,56 @@ struct Analysis {
   static Analysis run(fortran::SourceFile& file, const Directives& dirs,
                       DiagnosticEngine& diags,
                       sync::CombineStrategy strategy =
-                          sync::CombineStrategy::Min) {
+                          sync::CombineStrategy::Min,
+                      ObsContext* obs = nullptr) {
+    auto* profiler = ObsContext::profiler_of(obs);
+    auto* prov = ObsContext::provenance_of(obs);
+
     Analysis a;
-    a.spec = dirs.resolve_partition();
-    const auto cfg = dirs.field_config();
-    for (const auto& unit : file.units) {
-      a.loops_by_unit[unit.name] =
-          ir::analyze_field_loops(unit, cfg, diags);
+    {
+      PhaseTimer t(profiler, "partition");
+      a.spec = dirs.resolve_partition();
+      t.count("tasks", a.spec.num_tasks());
+      if (prov != nullptr) {
+        prov->add(obs::DecisionKind::PartitionChoice, SourceLoc{},
+                  "grid partition", a.spec.str(),
+                  dirs.partition.has_value()
+                      ? "taken verbatim from the partition directive"
+                      : "balance-optimal partition for the directive's "
+                        "processor count");
+      }
     }
-    a.trace = depend::ProgramTrace::build(file, a.loops_by_unit, diags);
-    a.deps = depend::analyze_dependences(a.trace, a.spec, diags);
-    a.prog = sync::InlinedProgram::build(file, a.trace, a.spec, diags);
-    a.plan = sync::plan_synchronization(a.prog, a.deps, a.spec, strategy);
+    const auto cfg = dirs.field_config();
+    {
+      PhaseTimer t(profiler, "classify");
+      for (const auto& unit : file.units) {
+        a.loops_by_unit[unit.name] =
+            ir::analyze_field_loops(unit, cfg, diags, prov);
+        for (const auto& fl : a.loops_by_unit[unit.name]) {
+          t.count("loops");
+          for (const auto& [name, info] : fl.arrays) {
+            t.count(std::string("class_") +
+                    std::string(ir::loop_type_name(fl.type_for(name))));
+          }
+        }
+      }
+    }
+    {
+      PhaseTimer t(profiler, "depend");
+      depend::DependenceStats stats;
+      a.trace = depend::ProgramTrace::build(file, a.loops_by_unit, diags);
+      a.deps = depend::analyze_dependences(a.trace, a.spec, diags, &stats);
+      t.count("sites", static_cast<double>(a.trace.sites().size()));
+      t.count("edges_tested", stats.edges_tested);
+      t.count("pairs_admitted", stats.pairs_admitted);
+      t.count("halo_carrying", stats.halo_carrying);
+    }
+    {
+      PhaseTimer t(profiler, "inline");
+      a.prog = sync::InlinedProgram::build(file, a.trace, a.spec, diags);
+      t.count("slots", static_cast<double>(a.prog.slots().size()));
+    }
+    a.plan = sync::plan_synchronization(a.prog, a.deps, a.spec, strategy, obs);
     for (const auto& pp : a.plan.pipelines) {
       if (pp.plan.unsupported_diagonal) {
         diags.error(pp.site->loop->loop->loc,
@@ -67,16 +108,28 @@ struct Analysis {
 
 std::unique_ptr<ParallelProgram> parallelize(std::string_view source,
                                              const Directives& directives,
-                                             sync::CombineStrategy strategy) {
+                                             sync::CombineStrategy strategy,
+                                             obs::ObsContext* obs) {
+  auto* profiler = ObsContext::profiler_of(obs);
+  obs::PassProfiler::TotalTimer total(profiler);
+
   DiagnosticEngine diags;
-  directives.validate(diags);
+  {
+    PhaseTimer t(profiler, "directives");
+    directives.validate(diags);
+  }
   throw_if_errors(diags, "directives");
 
   auto program = std::make_unique<ParallelProgram>();
-  program->file = fortran::parse_source(source, diags);
+  {
+    PhaseTimer t(profiler, "parse");
+    program->file = fortran::parse_source(source, diags);
+    t.count("units", static_cast<double>(program->file.units.size()));
+  }
   throw_if_errors(diags, "parse");
 
-  auto analysis = Analysis::run(program->file, directives, diags, strategy);
+  auto analysis =
+      Analysis::run(program->file, directives, diags, strategy, obs);
   throw_if_errors(diags, "analysis");
   program->report = analysis.report();
 
@@ -84,29 +137,53 @@ std::unique_ptr<ParallelProgram> parallelize(std::string_view source,
   opts.field = directives.field_config();
   opts.grid = directives.grid;
   opts.spec = analysis.spec;
-  program->meta =
-      codegen::restructure(program->file, opts, analysis.loops_by_unit,
-                           analysis.deps, analysis.plan, analysis.prog, diags);
+  {
+    PhaseTimer t(profiler, "restructure");
+    program->meta =
+        codegen::restructure(program->file, opts, analysis.loops_by_unit,
+                             analysis.deps, analysis.plan, analysis.prog,
+                             diags);
+    t.count("sync_points", program->report.syncs_after);
+    t.count("pipelined_loops", program->report.pipelined_loops);
+  }
   throw_if_errors(diags, "restructure");
 
-  program->parallel_source = fortran::print_file(program->file);
+  {
+    PhaseTimer t(profiler, "print");
+    program->parallel_source = fortran::print_file(program->file);
+    t.count("bytes", static_cast<double>(program->parallel_source.size()));
+  }
   return program;
 }
 
-std::unique_ptr<ParallelProgram> parallelize(std::string_view source) {
+std::unique_ptr<ParallelProgram> parallelize(std::string_view source,
+                                             obs::ObsContext* obs) {
   DiagnosticEngine diags;
   auto dirs = Directives::extract(source, diags);
   throw_if_errors(diags, "directive extraction");
-  return parallelize(source, dirs);
+  return parallelize(source, dirs, sync::CombineStrategy::Min, obs);
 }
 
-Report analyze_only(std::string_view source, const Directives& directives) {
+Report analyze_only(std::string_view source, const Directives& directives,
+                    obs::ObsContext* obs) {
+  auto* profiler = ObsContext::profiler_of(obs);
+  obs::PassProfiler::TotalTimer total(profiler);
+
   DiagnosticEngine diags;
-  directives.validate(diags);
+  {
+    PhaseTimer t(profiler, "directives");
+    directives.validate(diags);
+  }
   throw_if_errors(diags, "directives");
-  auto file = fortran::parse_source(source, diags);
+  fortran::SourceFile file;
+  {
+    PhaseTimer t(profiler, "parse");
+    file = fortran::parse_source(source, diags);
+    t.count("units", static_cast<double>(file.units.size()));
+  }
   throw_if_errors(diags, "parse");
-  auto analysis = Analysis::run(file, directives, diags);
+  auto analysis = Analysis::run(file, directives, diags,
+                                sync::CombineStrategy::Min, obs);
   throw_if_errors(diags, "analysis");
   return analysis.report();
 }

@@ -165,8 +165,11 @@ partition::HaloWidths halo_for_reads(const ir::FieldLoop& loop,
 
 DependenceSet analyze_dependences(const ProgramTrace& trace,
                                   const partition::PartitionSpec& spec,
-                                  DiagnosticEngine& diags) {
+                                  DiagnosticEngine& diags,
+                                  DependenceStats* stats) {
   DependenceSet set;
+  DependenceStats local;
+  if (stats == nullptr) stats = &local;
   const auto& sites = trace.sites();
 
   // Gather, per array, the writer and reader site indices.
@@ -206,6 +209,7 @@ DependenceSet analyze_dependences(const ProgramTrace& trace,
         // (resolved by wavefront / mirror-image decomposition). Other
         // writers may still feed this reader's first execution, so do
         // not stop here.
+        ++stats->edges_tested;
         LoopDependence self = base;
         self.writer = &reader;
         self.self = true;
@@ -223,6 +227,7 @@ DependenceSet analyze_dependences(const ProgramTrace& trace,
         if (w < self_idx) prev = w;
       }
       if (prev >= 0) {
+        ++stats->edges_tested;
         LoopDependence dep = base;
         dep.writer = &sites[static_cast<std::size_t>(prev)];
         set.pairs.push_back(std::move(dep));
@@ -246,6 +251,7 @@ DependenceSet analyze_dependences(const ProgramTrace& trace,
         }
       }
       if (wrapw >= 0) {
+        ++stats->edges_tested;
         bool killed = false;
         if (prev >= 0) {
           const auto& p = sites[static_cast<std::size_t>(prev)];
@@ -261,6 +267,10 @@ DependenceSet analyze_dependences(const ProgramTrace& trace,
         }
       }
     }
+  }
+  stats->pairs_admitted = static_cast<int>(set.pairs.size());
+  for (const auto& p : set.pairs) {
+    if (p.needs_comm()) ++stats->halo_carrying;
   }
   return set;
 }

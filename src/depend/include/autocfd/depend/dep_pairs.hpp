@@ -87,9 +87,18 @@ struct DependenceSet {
     const ir::FieldLoop& loop, const ir::ArrayInfo& info,
     const partition::PartitionSpec& spec);
 
+/// Observability counters of one analyze_dependences run: how many
+/// candidate dependence edges the pairing examined vs how many made it
+/// into S_LDP (and how many of those actually carry communication).
+struct DependenceStats {
+  int edges_tested = 0;    // candidate (writer, reader, array) edges
+  int pairs_admitted = 0;  // LoopDependence records emitted
+  int halo_carrying = 0;   // admitted pairs with a nonzero halo
+};
+
 /// Runs the full S_LDP construction for one partition.
 [[nodiscard]] DependenceSet analyze_dependences(
     const ProgramTrace& trace, const partition::PartitionSpec& spec,
-    DiagnosticEngine& diags);
+    DiagnosticEngine& diags, DependenceStats* stats = nullptr);
 
 }  // namespace autocfd::depend

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "autocfd/ir/field_loop.hpp"
+#include "autocfd/obs/provenance.hpp"
 #include "autocfd/partition/comm_model.hpp"
 
 namespace autocfd::depend {
@@ -59,8 +60,11 @@ struct MirrorImagePlan {
 /// Analyzes one (loop, array) self-dependence under `spec`. Offsets in
 /// uncut dimensions stay local to a block and are ignored — this is the
 /// "analysis after partitioning" discipline.
+/// With a provenance log, every direction-vector verdict (flow vs anti
+/// per offending read offset) and the final kind are recorded.
 [[nodiscard]] MirrorImagePlan analyze_self_dependence(
     const ir::FieldLoop& loop, const std::string& array,
-    const partition::PartitionSpec& spec);
+    const partition::PartitionSpec& spec,
+    obs::ProvenanceLog* prov = nullptr);
 
 }  // namespace autocfd::depend

@@ -16,7 +16,8 @@ std::string_view self_dep_kind_name(SelfDepKind k) {
 
 MirrorImagePlan analyze_self_dependence(const ir::FieldLoop& loop,
                                         const std::string& array,
-                                        const partition::PartitionSpec& spec) {
+                                        const partition::PartitionSpec& spec,
+                                        obs::ProvenanceLog* prov) {
   MirrorImagePlan plan;
   plan.loop = &loop;
   plan.array = array;
@@ -49,6 +50,14 @@ MirrorImagePlan analyze_self_dependence(const ir::FieldLoop& loop,
     }
     if (offset_dims >= 2 && any_cut_offset) {
       plan.unsupported_diagonal = true;
+      if (prov != nullptr) {
+        prov->add(obs::DecisionKind::SelfDependence, read.stmt->loc,
+                  "self-read of '" + array + "'", "unsupported-diagonal",
+                  "offsets in " + std::to_string(offset_dims) +
+                      " grid dimensions with a cut dimension among them; "
+                      "mirror-image decomposition covers axis-aligned "
+                      "self-reads only");
+      }
     }
     for (int d = 0; d < n_status; ++d) {
       const auto du = static_cast<std::size_t>(d);
@@ -72,11 +81,31 @@ MirrorImagePlan analyze_self_dependence(const ir::FieldLoop& loop,
         if (exists == plan.pipeline_dims.end()) {
           plan.pipeline_dims.emplace_back(d, scan_dir);
         }
+        if (prov != nullptr) {
+          prov->add(obs::DecisionKind::SelfDependence, read.stmt->loc,
+                    "self-read of '" + array + "' dim " + std::to_string(d),
+                    "flow",
+                    "offset " + std::to_string(sub.offset) +
+                        " against scan direction " +
+                        (scan_dir > 0 ? std::string("+1") : std::string("-1")) +
+                        " reads already-updated points -> pipelined sweep",
+                    {d});
+        }
       } else {
         // Reads a point the scan has not reached yet: old value (anti).
         any_anti = true;
         auto& side = off_sign < 0 ? plan.pre_halo.lo : plan.pre_halo.hi;
         side[du] = std::max(side[du], dist);
+        if (prov != nullptr) {
+          prov->add(obs::DecisionKind::SelfDependence, read.stmt->loc,
+                    "self-read of '" + array + "' dim " + std::to_string(d),
+                    "anti",
+                    "offset " + std::to_string(sub.offset) +
+                        " along scan direction " +
+                        (scan_dir > 0 ? std::string("+1") : std::string("-1")) +
+                        " reads old values -> pre-sweep halo exchange",
+                    {d});
+        }
       }
     }
   }
@@ -91,6 +120,22 @@ MirrorImagePlan analyze_self_dependence(const ir::FieldLoop& loop,
     plan.kind = SelfDepKind::None;
   }
   std::sort(plan.pipeline_dims.begin(), plan.pipeline_dims.end());
+  if (prov != nullptr && plan.kind != SelfDepKind::None) {
+    std::vector<int> dims;
+    for (const auto& [d, dir] : plan.pipeline_dims) dims.push_back(d);
+    prov->add(obs::DecisionKind::SelfDependence, loop.loop->loc,
+              "loop@" + std::to_string(loop.loop->loc.line) + " array '" +
+                  array + "'",
+              std::string(self_dep_kind_name(plan.kind)),
+              plan.kind == SelfDepKind::Mixed
+                  ? "flow and anti halves split by mirror-image "
+                    "decomposition"
+                  : (plan.kind == SelfDepKind::FlowOnly
+                         ? "flow dependences only: classic pipeline"
+                         : "anti dependences only: pre-sweep exchange "
+                           "suffices"),
+              std::move(dims));
+  }
   return plan;
 }
 

@@ -238,11 +238,42 @@ bool scans_field(const LoopTree::Node& node, const FieldLoop& fl) {
   return it != fl.var_dims.end() && it->second >= 0;
 }
 
+/// Why type_for() answered the way it did, for the provenance log.
+std::string classification_rationale(LoopType t, const ArrayInfo& info) {
+  switch (t) {
+    case LoopType::C:
+      return "assigned (" + std::to_string(info.writes.size()) +
+             "x) and referenced (" + std::to_string(info.reads.size()) +
+             "x) in the nest";
+    case LoopType::A:
+      return "assigned (" + std::to_string(info.writes.size()) +
+             "x), never referenced";
+    case LoopType::R:
+      return "referenced (" + std::to_string(info.reads.size()) +
+             "x), never assigned";
+    case LoopType::O:
+      return "neither assigned nor referenced";
+  }
+  return "";
+}
+
+void record_classifications(const FieldLoop& fl, obs::ProvenanceLog& prov) {
+  for (const auto& [name, info] : fl.arrays) {
+    const LoopType t = fl.type_for(name);
+    prov.add(obs::DecisionKind::LoopClassification, fl.loop->loc,
+             "loop@" + std::to_string(fl.loop->loc.line) + " array '" + name +
+                 "'",
+             std::string(loop_type_name(t)),
+             classification_rationale(t, info));
+  }
+}
+
 }  // namespace
 
 std::vector<FieldLoop> analyze_field_loops(const fortran::ProgramUnit& unit,
                                            const FieldConfig& config,
-                                           DiagnosticEngine& diags) {
+                                           DiagnosticEngine& diags,
+                                           obs::ProvenanceLog* prov) {
   std::vector<FieldLoop> out;
   const LoopTree tree = LoopTree::build(unit);
 
@@ -297,6 +328,9 @@ std::vector<FieldLoop> analyze_field_loops(const fortran::ProgramUnit& unit,
             [](const FieldLoop& a, const FieldLoop& b) {
               return a.loop->id < b.loop->id;
             });
+  if (prov != nullptr) {
+    for (const auto& fl : out) record_classifications(fl, *prov);
+  }
   return out;
 }
 

@@ -18,6 +18,7 @@
 
 #include "autocfd/fortran/ast.hpp"
 #include "autocfd/ir/loop_tree.hpp"
+#include "autocfd/obs/provenance.hpp"
 #include "autocfd/support/diagnostics.hpp"
 
 namespace autocfd::ir {
@@ -100,9 +101,11 @@ struct FieldLoop {
 
 /// Analyzes one unit. All loops whose variables index status dimensions
 /// are found; for each maximal such nest a FieldLoop is produced.
+/// With a provenance log, one LoopClassification entry is recorded per
+/// (field loop, status array) stating the A/R/C/O verdict and why.
 [[nodiscard]] std::vector<FieldLoop> analyze_field_loops(
     const fortran::ProgramUnit& unit, const FieldConfig& config,
-    DiagnosticEngine& diags);
+    DiagnosticEngine& diags, obs::ProvenanceLog* prov = nullptr);
 
 /// Classifies one subscript expression. `var_dims` gives the loop
 /// variables in scope (any map value works; only keys are used).

@@ -1,0 +1,19 @@
+// Minimal JSON-writing helpers shared by the observability exporters
+// (pass profiler, provenance log, metrics registry). The library emits
+// JSON by hand — like src/trace/export.cpp — so the schema stays exact
+// and no external dependency is needed.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace autocfd::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Formats a double as a JSON number (shortest round-trip form; nan and
+/// infinities — invalid JSON — are clamped to 0 and +/-1e308).
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace autocfd::obs

@@ -1,0 +1,90 @@
+// Unified metrics registry: counters, gauges and histograms with JSON
+// export. One registry carries both compile-phase metrics (fed by the
+// PassProfiler) and per-rank runtime metrics (fed by the trace->metrics
+// bridge in src/trace), so a single `--metrics-out` file describes a
+// whole pre-compile + simulated-run session.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace autocfd::obs {
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper bounds of the
+/// finite buckets; one overflow bucket (+inf) is implicit. Also tracks
+/// count/min/max/sum for summary statistics.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per finite bucket; the last element is the overflow bucket.
+  [[nodiscard]] const std::vector<std::int64_t>& bucket_counts() const {
+    return bucket_counts_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> bucket_counts_;  // bounds_.size() + 1
+  std::int64_t count_ = 0;
+  double min_ = 0.0, max_ = 0.0, sum_ = 0.0;
+};
+
+/// Default bucket bounds for byte-sized quantities (powers of 4 up to
+/// 16 MiB) and for second-sized quantities (1 us .. 100 s decades).
+[[nodiscard]] std::vector<double> byte_buckets();
+[[nodiscard]] std::vector<double> seconds_buckets();
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to counter `name` (created at 0 on first use).
+  void add(const std::string& name, std::int64_t delta = 1);
+  /// Sets gauge `name`.
+  void set_gauge(const std::string& name, double value);
+  /// Histogram `name`, created with `bounds` on first use (subsequent
+  /// calls ignore `bounds`).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  [[nodiscard]] std::int64_t counter(const std::string& name) const;
+  [[nodiscard]] double gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {"count","min","max","sum","mean","buckets":[{"le","count"},...]}}}
+  /// Keys are emitted in sorted order: the output is deterministic.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string json() const;
+
+  /// One line per metric, for terminals and tests.
+  [[nodiscard]] std::string text_report() const;
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace autocfd::obs

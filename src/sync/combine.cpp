@@ -32,6 +32,34 @@ std::vector<const SyncRegion*> sorted_valid(
 
 }  // namespace
 
+std::vector<int> CombinedSync::member_ids() const {
+  std::vector<int> ids;
+  ids.reserve(members.size());
+  for (const auto* r : members) ids.push_back(r->id);
+  return ids;
+}
+
+void finalize_combined(const InlinedProgram& prog, CombinedSync& group,
+                       obs::ProvenanceLog* prov, CombineStats* stats) {
+  group.chosen_slot = choose_slot(prog, group.intersection);
+  if (stats != nullptr) ++stats->groups;
+  if (prov == nullptr || group.members.empty()) return;
+  // Sync happens before the first reader of the group; anchor there.
+  const auto* first = group.members.front();
+  prov->add(obs::DecisionKind::CombineMerge,
+            first->pair->reader->loop->loop->loc,
+            "sync point at slot " + std::to_string(group.chosen_slot),
+            group.members.size() > 1
+                ? "merged " + std::to_string(group.members.size()) +
+                      " regions"
+                : "single region",
+            std::to_string(group.members.size()) +
+                " upper-bound region(s) share a " +
+                std::to_string(group.intersection.size()) +
+                "-slot intersection",
+            group.member_ids());
+}
+
 int choose_slot(const InlinedProgram& prog,
                 const std::vector<int>& intersection) {
   int best = -1;
@@ -52,7 +80,9 @@ int choose_slot(const InlinedProgram& prog,
 }
 
 std::vector<CombinedSync> combine_min(const InlinedProgram& prog,
-                                      const std::vector<SyncRegion>& regions) {
+                                      const std::vector<SyncRegion>& regions,
+                                      obs::ProvenanceLog* prov,
+                                      CombineStats* stats) {
   std::vector<CombinedSync> out;
   CombinedSync current;
   for (const auto* r : sorted_valid(regions)) {
@@ -61,27 +91,30 @@ std::vector<CombinedSync> combine_min(const InlinedProgram& prog,
       current.intersection = r->slots;
       continue;
     }
+    if (stats != nullptr) ++stats->intersections_evaluated;
     auto next = intersect(current.intersection, r->slots);
     if (next.empty()) {
-      current.chosen_slot = choose_slot(prog, current.intersection);
+      finalize_combined(prog, current, prov, stats);
       out.push_back(std::move(current));
       current = {};
       current.members = {r};
       current.intersection = r->slots;
     } else {
+      if (stats != nullptr) ++stats->merges;
       current.members.push_back(r);
       current.intersection = std::move(next);
     }
   }
   if (!current.members.empty()) {
-    current.chosen_slot = choose_slot(prog, current.intersection);
+    finalize_combined(prog, current, prov, stats);
     out.push_back(std::move(current));
   }
   return out;
 }
 
 std::vector<CombinedSync> combine_pairwise(
-    const InlinedProgram& prog, const std::vector<SyncRegion>& regions) {
+    const InlinedProgram& prog, const std::vector<SyncRegion>& regions,
+    obs::ProvenanceLog* prov, CombineStats* stats) {
   std::vector<CombinedSync> out;
   const auto sorted = sorted_valid(regions);
   std::size_t i = 0;
@@ -90,14 +123,16 @@ std::vector<CombinedSync> combine_pairwise(
     group.members = {sorted[i]};
     group.intersection = sorted[i]->slots;
     if (i + 1 < sorted.size()) {
+      if (stats != nullptr) ++stats->intersections_evaluated;
       const auto next = intersect(group.intersection, sorted[i + 1]->slots);
       if (!next.empty()) {
+        if (stats != nullptr) ++stats->merges;
         group.members.push_back(sorted[i + 1]);
         group.intersection = next;
         ++i;
       }
     }
-    group.chosen_slot = choose_slot(prog, group.intersection);
+    finalize_combined(prog, group, prov, stats);
     out.push_back(std::move(group));
     ++i;
   }

@@ -19,19 +19,39 @@ struct CombinedSync {
   std::vector<const SyncRegion*> members;
   std::vector<int> intersection;  // sorted slot ordinals
   int chosen_slot = -1;           // final synchronization point
+
+  /// Ids of the member regions (SyncRegion::id, -1 for standalone
+  /// regions), in merge order.
+  [[nodiscard]] std::vector<int> member_ids() const;
+};
+
+/// Observability counters of one combining run.
+struct CombineStats {
+  int intersections_evaluated = 0;  // region-pair overlap tests
+  int merges = 0;                   // tests that kept the group growing
+  int groups = 0;                   // combined points emitted
 };
 
 /// The paper's minimal combining. Regions with no slots are skipped.
 /// `prog` is used to choose the insertion slot within each intersection
-/// (shallowest call depth, then latest position).
+/// (shallowest call depth, then latest position). With a provenance
+/// log, every emitted point records the member region ids it merged.
 [[nodiscard]] std::vector<CombinedSync> combine_min(
-    const InlinedProgram& prog, const std::vector<SyncRegion>& regions);
+    const InlinedProgram& prog, const std::vector<SyncRegion>& regions,
+    obs::ProvenanceLog* prov = nullptr, CombineStats* stats = nullptr);
 
 /// Figure 6(c)'s non-optimal strategy: merge each region only with its
 /// immediate sorted successor when they overlap. Kept as a baseline to
 /// reproduce the figure's 2-vs-3 comparison.
 [[nodiscard]] std::vector<CombinedSync> combine_pairwise(
-    const InlinedProgram& prog, const std::vector<SyncRegion>& regions);
+    const InlinedProgram& prog, const std::vector<SyncRegion>& regions,
+    obs::ProvenanceLog* prov = nullptr, CombineStats* stats = nullptr);
+
+/// Shared tail of every strategy: chooses the slot, bumps the group
+/// counter and records the CombineMerge provenance entry naming the
+/// merged region ids.
+void finalize_combined(const InlinedProgram& prog, CombinedSync& group,
+                       obs::ProvenanceLog* prov, CombineStats* stats);
 
 /// Picks the synchronization point within an intersection: minimize
 /// call depth (prefer main over subroutine bodies so a shared source

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "autocfd/depend/dep_pairs.hpp"
+#include "autocfd/obs/provenance.hpp"
 #include "autocfd/sync/inlined.hpp"
 
 namespace autocfd::sync {
@@ -26,6 +27,13 @@ namespace autocfd::sync {
 struct SyncRegion {
   const depend::LoopDependence* pair = nullptr;
   std::vector<int> slots;  // sorted slot ordinals
+  /// Index within the owning SyncPlan's region list (provenance refs
+  /// and the explain output name regions by this id); -1 when the
+  /// region is built standalone.
+  int id = -1;
+  /// How many enclosing Do/If/Call levels the starting point was
+  /// hoisted out of (observability counter).
+  int hoist_steps = 0;
 
   [[nodiscard]] bool valid() const { return !slots.empty(); }
   [[nodiscard]] int first_slot() const { return slots.front(); }
@@ -33,11 +41,16 @@ struct SyncRegion {
 
 /// Builds the upper-bound region for one pair. Returns an empty-slot
 /// region if the pair's sites cannot be located (diagnosed upstream).
+/// With a provenance log, every hoisting step (and every pin that stops
+/// one) is recorded.
 [[nodiscard]] SyncRegion build_region(const InlinedProgram& prog,
-                                      const depend::LoopDependence& pair);
+                                      const depend::LoopDependence& pair,
+                                      obs::ProvenanceLog* prov = nullptr);
 
-/// Regions for every communication-carrying pair of the set.
+/// Regions for every communication-carrying pair of the set, with ids
+/// assigned in order.
 [[nodiscard]] std::vector<SyncRegion> build_regions(
-    const InlinedProgram& prog, const depend::DependenceSet& deps);
+    const InlinedProgram& prog, const depend::DependenceSet& deps,
+    obs::ProvenanceLog* prov = nullptr);
 
 }  // namespace autocfd::sync

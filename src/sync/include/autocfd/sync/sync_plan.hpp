@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "autocfd/depend/self_dep.hpp"
+#include "autocfd/obs/obs.hpp"
 #include "autocfd/sync/combine.hpp"
 #include "autocfd/sync/regions.hpp"
 
@@ -54,9 +55,13 @@ class SyncPlan {
   std::vector<std::unique_ptr<depend::LoopDependence>> synthetic_pairs;
 };
 
+/// With an observability context, the regions / self-dep / combine
+/// sub-phases are timed into the pass profiler (with their counters)
+/// and every decision lands in the provenance log.
 [[nodiscard]] SyncPlan plan_synchronization(
     const InlinedProgram& prog, const depend::DependenceSet& deps,
     const partition::PartitionSpec& spec,
-    CombineStrategy strategy = CombineStrategy::Min);
+    CombineStrategy strategy = CombineStrategy::Min,
+    obs::ObsContext* obs = nullptr);
 
 }  // namespace autocfd::sync

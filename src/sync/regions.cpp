@@ -23,6 +23,30 @@ struct RegionBuilder {
   const InlinedProgram* prog;
   const depend::LoopDependence* pair;
   const INode* reader_node;
+  obs::ProvenanceLog* prov = nullptr;
+  int hoist_steps = 0;
+
+  /// "sync 'v' w@12 -> r@31" — names the pair in provenance entries.
+  [[nodiscard]] std::string pair_label() const {
+    return "sync '" + pair->array + "' w@" +
+           std::to_string(pair->writer->loop->loop->loc.line) + " -> r@" +
+           std::to_string(pair->reader->loop->loop->loc.line);
+  }
+
+  void note_hoist(const INode& owner, const char* what) {
+    ++hoist_steps;
+    if (prov == nullptr) return;
+    prov->add(obs::DecisionKind::RegionHoist, owner.stmt->loc, pair_label(),
+              std::string("hoisted out of ") + what,
+              std::string("no halo reader of '") + pair->array +
+                  "' blocks moving the start point past this " + what);
+  }
+
+  void note_pin(const INode& owner, const std::string& why) {
+    if (prov == nullptr) return;
+    prov->add(obs::DecisionKind::RegionPin, owner.stmt->loc, pair_label(),
+              "pinned", why);
+  }
 
   /// Hoists the starting point (block, index) outward as far as legal.
   /// `stop_at` (may be null) is the loop the region must stay inside —
@@ -43,8 +67,12 @@ struct RegionBuilder {
           // the region inside (the reader re-executes every iteration).
           if (reader_in_range(*block, 0, static_cast<int>(block->size()),
                               pair->array)) {
+            note_pin(*owner, "a reader of '" + pair->array +
+                                 "' re-executes every iteration of the "
+                                 "enclosing loop");
             return {block, index};
           }
+          note_hoist(*owner, "loop");
           break;
         }
         case StmtKind::If: {
@@ -53,8 +81,11 @@ struct RegionBuilder {
           // branch cannot execute together with the write.
           if (reader_in_range(*block, index, static_cast<int>(block->size()),
                               pair->array)) {
+            note_pin(*owner, "a reader of '" + pair->array +
+                                 "' follows the write in the same branch");
             return {block, index};
           }
+          note_hoist(*owner, "branch");
           break;
         }
         case StmtKind::Call: {
@@ -62,8 +93,11 @@ struct RegionBuilder {
           // move out to the caller unless a reader follows inside.
           if (reader_in_range(*block, index, static_cast<int>(block->size()),
                               pair->array)) {
+            note_pin(*owner, "a reader of '" + pair->array +
+                                 "' follows inside the subroutine body");
             return {block, index};
           }
+          note_hoist(*owner, "subroutine");
           break;
         }
         default:
@@ -107,6 +141,7 @@ struct RegionBuilder {
     region.pair = pair;
     const INode* writer_node = prog->node_for_site(*pair->writer);
     if (!writer_node || !reader_node) return region;
+    hoist_steps = 0;
 
     const auto wpos = prog->position_of(*writer_node);
     if (!wpos.block) return region;
@@ -139,6 +174,19 @@ struct RegionBuilder {
     std::sort(region.slots.begin(), region.slots.end());
     region.slots.erase(std::unique(region.slots.begin(), region.slots.end()),
                        region.slots.end());
+    region.hoist_steps = hoist_steps;
+    if (prov != nullptr) {
+      prov->add(obs::DecisionKind::RegionExtent,
+                pair->writer->loop->loop->loc, pair_label(),
+                std::to_string(region.slots.size()) + " legal slot(s)",
+                region.valid()
+                    ? "upper-bound region spans slots " +
+                          std::to_string(region.slots.front()) + ".." +
+                          std::to_string(region.slots.back()) + " after " +
+                          std::to_string(hoist_steps) + " hoist step(s)"
+                    : "no legal slot: the pair's sites could not be "
+                      "located in the inlined program");
+    }
     return region;
   }
 };
@@ -146,16 +194,19 @@ struct RegionBuilder {
 }  // namespace
 
 SyncRegion build_region(const InlinedProgram& prog,
-                        const depend::LoopDependence& pair) {
-  RegionBuilder b{&prog, &pair, prog.node_for_site(*pair.reader)};
+                        const depend::LoopDependence& pair,
+                        obs::ProvenanceLog* prov) {
+  RegionBuilder b{&prog, &pair, prog.node_for_site(*pair.reader), prov};
   return b.build();
 }
 
 std::vector<SyncRegion> build_regions(const InlinedProgram& prog,
-                                      const depend::DependenceSet& deps) {
+                                      const depend::DependenceSet& deps,
+                                      obs::ProvenanceLog* prov) {
   std::vector<SyncRegion> out;
   for (const auto* pair : deps.sync_pairs()) {
-    out.push_back(build_region(prog, *pair));
+    out.push_back(build_region(prog, *pair, prov));
+    out.back().id = static_cast<int>(out.size()) - 1;
   }
   return out;
 }

@@ -6,7 +6,9 @@
 namespace autocfd::sync {
 
 double SyncPlan::optimization_percent() const {
-  if (regions.empty()) return 0.0;
+  // A program with no dependent loop pairs has nothing to optimize;
+  // report 0% rather than dividing by zero (NaN).
+  if (syncs_before() == 0) return 0.0;
   return 100.0 * (1.0 - static_cast<double>(points.size()) /
                             static_cast<double>(regions.size()));
 }
@@ -32,14 +34,16 @@ std::vector<fortran::HaloSpec> SyncPlan::halos_for(const CombinedSync& point) {
 namespace {
 
 std::vector<CombinedSync> combine_none(const InlinedProgram& prog,
-                                       const std::vector<SyncRegion>& regions) {
+                                       const std::vector<SyncRegion>& regions,
+                                       obs::ProvenanceLog* prov,
+                                       CombineStats* stats) {
   std::vector<CombinedSync> out;
   for (const auto& r : regions) {
     if (!r.valid()) continue;
     CombinedSync point;
     point.members = {&r};
     point.intersection = r.slots;
-    point.chosen_slot = choose_slot(prog, r.slots);
+    finalize_combined(prog, point, prov, stats);
     out.push_back(std::move(point));
   }
   return out;
@@ -50,57 +54,85 @@ std::vector<CombinedSync> combine_none(const InlinedProgram& prog,
 SyncPlan plan_synchronization(const InlinedProgram& prog,
                               const depend::DependenceSet& deps,
                               const partition::PartitionSpec& spec,
-                              CombineStrategy strategy) {
+                              CombineStrategy strategy,
+                              obs::ObsContext* obs) {
+  auto* profiler = obs::ObsContext::profiler_of(obs);
+  auto* prov = obs::ObsContext::provenance_of(obs);
+
   SyncPlan plan;
-  plan.regions = build_regions(prog, deps);
+  {
+    obs::PassProfiler::PhaseTimer t(profiler, "regions");
+    plan.regions = build_regions(prog, deps, prov);
+    t.count("regions", static_cast<double>(plan.regions.size()));
+    for (const auto& r : plan.regions) t.count("hoist_steps", r.hoist_steps);
+  }
 
   // Self-dependent loops: mirror-image decomposition. The flow half
   // becomes a pipeline plan; the anti half (old-value reads) becomes a
   // synthetic wrap-around dependence whose pre-sweep exchange joins the
   // ordinary regions and is combined with them.
-  for (const auto* self : deps.self_pairs()) {
-    const auto mi = depend::analyze_self_dependence(*self->reader->loop,
-                                                    self->array, spec);
-    if (!mi.pipeline_dims.empty()) {
-      plan.pipelines.push_back(PipelinePlan{self->reader, mi});
-    }
-    if (mi.pre_halo.any()) {
-      auto pair = std::make_unique<depend::LoopDependence>();
-      pair->writer = self->writer;
-      pair->reader = self->reader;
-      pair->array = self->array;
-      pair->halo = mi.pre_halo;
-      pair->self = false;  // now an ordinary slot-placed exchange
-      // Wrap around the innermost enclosing loop if there is one; a
-      // one-shot sweep gets its old halo from the exchange that the
-      // restructurer emits after initialization.
-      const fortran::Stmt* wrap = nullptr;
-      for (const auto* c : self->reader->context) {
-        if (c->kind == fortran::StmtKind::Do) wrap = c;
+  {
+    obs::PassProfiler::PhaseTimer t(profiler, "self-dep");
+    for (const auto* self : deps.self_pairs()) {
+      t.count("loops_analyzed");
+      const auto mi = depend::analyze_self_dependence(*self->reader->loop,
+                                                      self->array, spec, prov);
+      switch (mi.kind) {
+        case depend::SelfDepKind::Mixed: t.count("mixed"); break;
+        case depend::SelfDepKind::FlowOnly: t.count("flow_only"); break;
+        case depend::SelfDepKind::AntiOnly: t.count("anti_only"); break;
+        case depend::SelfDepKind::None: break;
       }
-      if (wrap) {
-        pair->wraps = true;
-        pair->wrap_loop = wrap;
-        plan.regions.push_back(build_region(prog, *pair));
-        plan.synthetic_pairs.push_back(std::move(pair));
+      if (!mi.pipeline_dims.empty()) {
+        plan.pipelines.push_back(PipelinePlan{self->reader, mi});
       }
-      // If there is no enclosing loop the initial exchange suffices and
-      // no per-frame synchronization point is needed at all.
+      if (mi.pre_halo.any()) {
+        auto pair = std::make_unique<depend::LoopDependence>();
+        pair->writer = self->writer;
+        pair->reader = self->reader;
+        pair->array = self->array;
+        pair->halo = mi.pre_halo;
+        pair->self = false;  // now an ordinary slot-placed exchange
+        // Wrap around the innermost enclosing loop if there is one; a
+        // one-shot sweep gets its old halo from the exchange that the
+        // restructurer emits after initialization.
+        const fortran::Stmt* wrap = nullptr;
+        for (const auto* c : self->reader->context) {
+          if (c->kind == fortran::StmtKind::Do) wrap = c;
+        }
+        if (wrap) {
+          pair->wraps = true;
+          pair->wrap_loop = wrap;
+          t.count("synthetic_wraps");
+          plan.regions.push_back(build_region(prog, *pair, prov));
+          plan.regions.back().id = static_cast<int>(plan.regions.size()) - 1;
+          plan.synthetic_pairs.push_back(std::move(pair));
+        }
+        // If there is no enclosing loop the initial exchange suffices and
+        // no per-frame synchronization point is needed at all.
+      }
+      // FlowOnly self-dependences with a pipeline plan need no slot sync:
+      // the pipelined receive delivers the updated boundary in-loop.
     }
-    // FlowOnly self-dependences with a pipeline plan need no slot sync:
-    // the pipelined receive delivers the updated boundary in-loop.
   }
 
-  switch (strategy) {
-    case CombineStrategy::Min:
-      plan.points = combine_min(prog, plan.regions);
-      break;
-    case CombineStrategy::Pairwise:
-      plan.points = combine_pairwise(prog, plan.regions);
-      break;
-    case CombineStrategy::None:
-      plan.points = combine_none(prog, plan.regions);
-      break;
+  {
+    obs::PassProfiler::PhaseTimer t(profiler, "combine");
+    CombineStats stats;
+    switch (strategy) {
+      case CombineStrategy::Min:
+        plan.points = combine_min(prog, plan.regions, prov, &stats);
+        break;
+      case CombineStrategy::Pairwise:
+        plan.points = combine_pairwise(prog, plan.regions, prov, &stats);
+        break;
+      case CombineStrategy::None:
+        plan.points = combine_none(prog, plan.regions, prov, &stats);
+        break;
+    }
+    t.count("intersections_evaluated", stats.intersections_evaluated);
+    t.count("merges", stats.merges);
+    t.count("points", stats.groups);
   }
   return plan;
 }

@@ -1,0 +1,22 @@
+// Trace -> metrics bridge: folds the event stream of one simulated run
+// into the unified metrics registry, so compile-phase metrics (from the
+// pass profiler) and runtime metrics live in a single JSON document.
+//
+// Populated metrics (all under the "runtime." namespace):
+//   * histograms "runtime.send_bytes" / "runtime.recv_wait_s" /
+//     "runtime.collective_wait_s" over all ranks, plus the per-rank
+//     "runtime.rank.<r>.send_bytes" and "runtime.rank.<r>.recv_wait_s";
+//   * counters "runtime.messages", "runtime.bytes",
+//     "runtime.collectives", "runtime.unreceived";
+//   * gauges "runtime.elapsed_s" and the per-rank compute / transfer /
+//     wait decomposition.
+#pragma once
+
+#include "autocfd/obs/metrics.hpp"
+#include "autocfd/trace/recorder.hpp"
+
+namespace autocfd::trace {
+
+void trace_to_metrics(const Trace& trace, obs::MetricsRegistry& reg);
+
+}  // namespace autocfd::trace

@@ -1,0 +1,63 @@
+#include "autocfd/trace/metrics_bridge.hpp"
+
+#include <string>
+
+#include "autocfd/trace/critical_path.hpp"
+
+namespace autocfd::trace {
+
+using mp::EventKind;
+
+void trace_to_metrics(const Trace& trace, obs::MetricsRegistry& reg) {
+  auto& send_bytes = reg.histogram("runtime.send_bytes", obs::byte_buckets());
+  auto& recv_wait =
+      reg.histogram("runtime.recv_wait_s", obs::seconds_buckets());
+  auto& coll_wait =
+      reg.histogram("runtime.collective_wait_s", obs::seconds_buckets());
+
+  for (int r = 0; r < trace.nranks; ++r) {
+    const std::string prefix = "runtime.rank." + std::to_string(r) + ".";
+    auto& rank_bytes =
+        reg.histogram(prefix + "send_bytes", obs::byte_buckets());
+    auto& rank_wait =
+        reg.histogram(prefix + "recv_wait_s", obs::seconds_buckets());
+    for (const auto& e : trace.per_rank[static_cast<std::size_t>(r)]) {
+      switch (e.kind) {
+        case EventKind::Send:
+          send_bytes.observe(static_cast<double>(e.bytes));
+          rank_bytes.observe(static_cast<double>(e.bytes));
+          reg.add("runtime.messages", e.n_messages > 0 ? e.n_messages : 1);
+          reg.add("runtime.bytes", e.bytes);
+          break;
+        case EventKind::Recv:
+          recv_wait.observe(e.wait);
+          rank_wait.observe(e.wait);
+          break;
+        case EventKind::AllReduce:
+        case EventKind::Barrier:
+          coll_wait.observe(e.wait);
+          reg.add("runtime.collectives");
+          break;
+        case EventKind::Compute:
+        case EventKind::Unreceived:  // routed to trace.unreceived
+          break;
+      }
+    }
+  }
+  if (!trace.unreceived.empty()) {
+    reg.add("runtime.unreceived",
+            static_cast<std::int64_t>(trace.unreceived.size()));
+  }
+
+  reg.set_gauge("runtime.elapsed_s", trace.elapsed());
+  const auto breakdown = rank_breakdown(trace);
+  for (int r = 0; r < trace.nranks; ++r) {
+    const auto& b = breakdown[static_cast<std::size_t>(r)];
+    const std::string prefix = "runtime.rank." + std::to_string(r) + ".";
+    reg.set_gauge(prefix + "compute_s", b.compute);
+    reg.set_gauge(prefix + "transfer_s", b.transfer);
+    reg.set_gauge(prefix + "wait_s", b.wait);
+  }
+}
+
+}  // namespace autocfd::trace

@@ -60,12 +60,47 @@ TEST(Diagnostics, ThrowIfErrors) {
   EXPECT_THROW(throw_if_errors(diags, "phase"), CompileError);
 }
 
+TEST(Diagnostics, ThrowIfErrorsNamesThePhase) {
+  DiagnosticEngine diags;
+  diags.error({4, 2}, "unknown array");
+  try {
+    throw_if_errors(diags, "field-loop analysis");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("field-loop analysis"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown array"), std::string::npos) << what;
+  }
+}
+
 TEST(Diagnostics, Clear) {
   DiagnosticEngine diags;
   diags.error({}, "x");
+  diags.warning({}, "w");
+  EXPECT_EQ(diags.error_count(), 1u);
   diags.clear();
   EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 0u);
   EXPECT_TRUE(diags.all().empty());
+  // A cleared engine is reusable: counts restart from zero.
+  diags.error({}, "y");
+  EXPECT_EQ(diags.error_count(), 1u);
+}
+
+TEST(Diagnostics, DumpPreservesInsertionOrder) {
+  DiagnosticEngine diags;
+  diags.warning({1, 1}, "first");
+  diags.error({9, 9}, "second");
+  diags.note({2, 2}, "third");
+  const std::string dump = diags.dump();
+  const auto a = dump.find("first");
+  const auto b = dump.find("second");
+  const auto c = dump.find("third");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(c, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "autocfd/fortran/parser.hpp"
 #include "autocfd/sync/sync_plan.hpp"
 
@@ -627,6 +629,28 @@ TEST(SyncInterproc, SubroutineCalledTwiceYieldsRegionPerCallSite) {
   for (const auto& point : plan.points) {
     EXPECT_EQ(f.prog.slot(point.chosen_slot).call_depth(), 0);
   }
+}
+
+TEST(SyncPlan, OptimizationPercentIsZeroWithoutDependences) {
+  // Purely local work: one status array assigned from itself pointwise,
+  // so no communication-carrying pair exists. syncs_before() is 0 and
+  // optimization_percent() must report 0%, not NaN (0/0).
+  Fixture f(
+      "program p\n"
+      "real v(16, 16)\n"
+      "integer i, j\n"
+      "do i = 1, 16\n"
+      "  do j = 1, 16\n"
+      "    v(i, j) = v(i, j) * 2.0\n"
+      "  end do\n"
+      "end do\n"
+      "end\n",
+      cfg2({"v"}), partition::PartitionSpec{{2, 1}});
+  auto plan = f.plan();
+  EXPECT_EQ(plan.syncs_before(), 0);
+  EXPECT_EQ(plan.syncs_after(), 0);
+  EXPECT_FALSE(std::isnan(plan.optimization_percent()));
+  EXPECT_EQ(plan.optimization_percent(), 0.0);
 }
 
 }  // namespace
