@@ -3,6 +3,7 @@
 //   acfd input.f [-o output.f] [--partition 4x1x1 | --nprocs 6]
 //        [--strategy min|pairwise|none] [--run] [--report]
 //        [--explain[=text|json]] [--profile] [--metrics-out m.json]
+//        [--faults=SPEC] [--watchdog=SEC]
 //
 // Reads a sequential Fortran CFD program (directives embedded as
 // !$acfd comments or overridden on the command line), writes the SPMD
@@ -25,10 +26,12 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "autocfd/core/pipeline.hpp"
+#include "autocfd/fault/fault.hpp"
 #include "autocfd/fortran/parser.hpp"
 #include "autocfd/trace/metrics_bridge.hpp"
 #include "autocfd/trace/recorder.hpp"
@@ -50,7 +53,12 @@ void usage() {
       "                     (json: the log goes to stdout alone, human\n"
       "                     output to stderr)\n"
       "  --profile          print per-phase wall times and counters\n"
-      "  --metrics-out F    write unified metrics JSON to F\n");
+      "  --metrics-out F    write unified metrics JSON to F\n"
+      "  --faults=SPEC      chaos-test the run under a seeded fault plan,\n"
+      "                     e.g. seed=7,jitter=0.3:0.05,straggler=1:2\n"
+      "                     (see fault::FaultPlan::parse)\n"
+      "  --watchdog=SEC     virtual-time watchdog deadline for blocked\n"
+      "                     communication (default 30; <= 0 disables)\n");
 }
 
 }  // namespace
@@ -70,6 +78,8 @@ int main(int argc, char** argv) {
   auto strategy = sync::CombineStrategy::Min;
   bool run = false, report_only = false;
   bool explain = false, explain_json = false, profile = false;
+  std::string faults_spec;
+  double watchdog = mp::Cluster::kDefaultWatchdog;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,6 +117,14 @@ int main(int argc, char** argv) {
       profile = true;
     } else if (arg == "--metrics-out") {
       metrics_path = next();
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      faults_spec = arg.substr(9);
+    } else if (arg == "--faults") {
+      faults_spec = next();
+    } else if (arg.rfind("--watchdog=", 0) == 0) {
+      watchdog = std::atof(arg.c_str() + 11);
+    } else if (arg == "--watchdog") {
+      watchdog = std::atof(next());
     } else {
       usage();
       return 2;
@@ -117,9 +135,23 @@ int main(int argc, char** argv) {
   // everything human-readable goes to stderr instead.
   std::FILE* const chat = explain_json ? stderr : stdout;
 
+  // A directory also "opens" successfully and reads as empty, so probe
+  // the path explicitly before blaming the program for being empty.
+  std::error_code ec;
+  if (!std::filesystem::exists(input_path, ec)) {
+    std::fprintf(stderr, "acfd: input file '%s' does not exist\n",
+                 input_path.c_str());
+    return 1;
+  }
+  if (!std::filesystem::is_regular_file(input_path, ec)) {
+    std::fprintf(stderr, "acfd: input '%s' is not a regular file\n",
+                 input_path.c_str());
+    return 1;
+  }
   std::ifstream in(input_path);
   if (!in) {
-    std::fprintf(stderr, "acfd: cannot open %s\n", input_path.c_str());
+    std::fprintf(stderr, "acfd: input file '%s' exists but is not readable\n",
+                 input_path.c_str());
     return 1;
   }
   std::ostringstream buf;
@@ -164,14 +196,26 @@ int main(int argc, char** argv) {
       }
       std::ofstream out(output_path);
       out << program->parallel_source;
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "acfd: cannot write output file '%s'\n",
+                     output_path.c_str());
+        return 1;
+      }
       std::fprintf(chat, "acfd: wrote %s\n", output_path.c_str());
     }
 
+    fault::FaultInjector injector{faults_spec.empty()
+                                      ? fault::FaultPlan{}
+                                      : fault::FaultPlan::parse(faults_spec)};
     if (run) {
       const auto machine = mp::MachineConfig::pentium_ethernet_1999();
       trace::TraceRecorder recorder;
-      auto par = program->run(machine,
-                              metrics_path.empty() ? nullptr : &recorder);
+      codegen::SpmdRunOptions run_opts;
+      run_opts.sink = metrics_path.empty() ? nullptr : &recorder;
+      run_opts.faults = faults_spec.empty() ? nullptr : &injector;
+      run_opts.watchdog = watchdog;
+      auto par = program->run(machine, run_opts);
       auto seq_file = fortran::parse_source(source);
       const auto seq = codegen::run_sequential_timed(
           seq_file, dirs.status_arrays, machine);
@@ -191,8 +235,17 @@ int main(int argc, char** argv) {
           "(speedup %.2f), max deviation %g\n",
           seq.elapsed, par.elapsed, program->meta.spec.num_tasks(),
           seq.elapsed / par.elapsed, max_diff);
+      if (!faults_spec.empty()) {
+        const auto& fc = injector.counters();
+        std::fprintf(chat,
+                     "acfd: chaos plan '%s': %lld delayed (%.4f s), "
+                     "%lld dropped, %lld corrupted — results still exact\n",
+                     injector.plan().str().c_str(), fc.delayed, fc.delay_s,
+                     fc.dropped, fc.corrupted);
+      }
       if (!metrics_path.empty()) {
         trace::trace_to_metrics(recorder.trace(), obs.metrics);
+        if (!faults_spec.empty()) injector.export_metrics(obs.metrics);
       }
       if (max_diff != 0.0) {
         std::fprintf(stderr, "acfd: VALIDATION FAILED\n");
@@ -215,8 +268,24 @@ int main(int argc, char** argv) {
       obs.export_profile_to_metrics();
       std::ofstream mos(metrics_path);
       obs.metrics.write_json(mos);
+      mos.flush();
+      if (!mos) {
+        std::fprintf(stderr, "acfd: cannot write metrics file '%s'\n",
+                     metrics_path.c_str());
+        return 1;
+      }
       std::fprintf(chat, "acfd: wrote %s\n", metrics_path.c_str());
     }
+  } catch (const mp::CommError& e) {
+    // A detected runtime fault (watchdog timeout, checksum mismatch):
+    // report the structured attribution, distinct exit code.
+    const auto& info = e.info();
+    std::fprintf(stderr,
+                 "acfd: communication failure: %s\n"
+                 "acfd:   rank=%d peer=%d tag=%d site=%s virtual_t=%.6f s\n",
+                 e.what(), info.rank, info.peer, info.tag,
+                 info.site_label.c_str(), info.time);
+    return 3;
   } catch (const CompileError& e) {
     std::fprintf(stderr, "acfd: %s\n", e.what());
     return 1;

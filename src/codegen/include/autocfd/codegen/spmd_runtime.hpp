@@ -29,11 +29,31 @@ struct SpmdRunResult {
   double total_flops = 0.0;
 };
 
+/// Runtime knobs of a simulated SPMD run.
+struct SpmdRunOptions {
+  /// When non-null the cluster streams every event of the run into it
+  /// (see autocfd/mp/events.hpp); pair with a trace::TraceRecorder and
+  /// meta.tags to get an attributed execution trace.
+  mp::EventSink* sink = nullptr;
+  /// Fault-injection hook (e.g. a fault::FaultInjector); nullptr runs
+  /// clean. The hook must outlive the run.
+  mp::FaultHook* faults = nullptr;
+  /// Watchdog deadline in virtual seconds (<= 0 disables); see
+  /// mp::Cluster::set_watchdog.
+  double watchdog = mp::Cluster::kDefaultWatchdog;
+};
+
 /// Runs the restructured `file` on spec.num_tasks() simulated ranks.
-/// The file is resolved in place (ProgramImage annotation). When
-/// `sink` is non-null the cluster streams every event of the run into
-/// it (see autocfd/mp/events.hpp); pair with a trace::TraceRecorder
-/// and meta.tags to get an attributed execution trace.
+/// The file is resolved in place (ProgramImage annotation). The
+/// cluster gets meta.tags as its tag labeler, so communication errors
+/// (timeout, checksum) name the sync-plan site that issued the
+/// operation.
+[[nodiscard]] SpmdRunResult run_spmd(fortran::SourceFile& file,
+                                     const SpmdMeta& meta,
+                                     const mp::MachineConfig& machine,
+                                     const SpmdRunOptions& options);
+
+/// Convenience overload: default options with an optional event sink.
 [[nodiscard]] SpmdRunResult run_spmd(fortran::SourceFile& file,
                                      const SpmdMeta& meta,
                                      const mp::MachineConfig& machine,

@@ -229,6 +229,14 @@ struct RankRuntime {
 SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
                        const mp::MachineConfig& machine,
                        mp::EventSink* sink) {
+  SpmdRunOptions options;
+  options.sink = sink;
+  return run_spmd(file, meta, machine, options);
+}
+
+SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
+                       const mp::MachineConfig& machine,
+                       const SpmdRunOptions& options) {
   DiagnosticEngine diags;
   auto image = interp::ProgramImage::build(file, diags);
   throw_if_errors(diags, "spmd image build");
@@ -236,7 +244,12 @@ SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
   const BlockPartition part(meta.grid, meta.spec);
   const int nprocs = meta.spec.num_tasks();
   mp::Cluster cluster(nprocs, machine);
-  cluster.set_event_sink(sink);
+  cluster.set_event_sink(options.sink);
+  cluster.set_fault_hook(options.faults);
+  cluster.set_watchdog(options.watchdog);
+  // Wire / collective ids are sync-plan site ids; resolving them
+  // through the tag registry gives errors their source attribution.
+  cluster.set_tag_labeler([&meta](int id) { return meta.tags.label(id); });
 
   std::vector<Env> envs;
   envs.reserve(static_cast<std::size_t>(nprocs));

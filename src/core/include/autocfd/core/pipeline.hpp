@@ -51,6 +51,13 @@ struct ParallelProgram {
                                            mp::EventSink* sink = nullptr) {
     return codegen::run_spmd(file, meta, machine, sink);
   }
+
+  /// Overload with the full runtime knobs (fault injection, watchdog).
+  [[nodiscard]] codegen::SpmdRunResult run(
+      const mp::MachineConfig& machine,
+      const codegen::SpmdRunOptions& options) {
+    return codegen::run_spmd(file, meta, machine, options);
+  }
 };
 
 /// Runs the whole pre-compiler. Throws CompileError on any hard error.

@@ -236,6 +236,16 @@ void Interpreter::exec_assign(const Stmt& s, Env& env) {
     env.set_scalar(lhs.slot, value);
     return;
   }
+  if (!std::isfinite(value)) {
+    // A NaN/Inf written into a status array silently poisons every
+    // downstream frame (and, parallelized, every rank it is halo-
+    // exchanged to). Fail at the first write with the array and the
+    // statement that produced it.
+    throw autocfd::CompileError(
+        "non-finite value (" + std::to_string(value) +
+        ") assigned to array '" + lhs.name + "' at " + s.loc.str() +
+        ": the computation diverged");
+  }
   auto& av = env.arrays[static_cast<std::size_t>(lhs.slot)];
   long long subs[8];
   const auto n = lhs.args.size();

@@ -1,6 +1,7 @@
 #include "autocfd/mp/cluster.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <exception>
 #include <stdexcept>
 #include <thread>
@@ -15,6 +16,10 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::AllReduce: return "allreduce";
     case EventKind::Barrier: return "barrier";
     case EventKind::Unreceived: return "unreceived";
+    case EventKind::FaultDelay: return "fault.delay";
+    case EventKind::FaultDrop: return "fault.drop";
+    case EventKind::FaultCorrupt: return "fault.corrupt";
+    case EventKind::Timeout: return "timeout";
   }
   return "?";
 }
@@ -24,6 +29,11 @@ const MachineConfig& Comm::config() const { return cluster_->config(); }
 
 void Comm::add_compute(double seconds) {
   std::lock_guard lock(cluster_->mu_);
+  if (cluster_->fault_ != nullptr) {
+    // Straggler model: a constant per-rank slowdown of every compute
+    // span (the hook guarantees the factor is stable for the run).
+    seconds *= cluster_->fault_->compute_factor(rank_);
+  }
   auto& clock = cluster_->clocks_[static_cast<std::size_t>(rank_)];
   const double before = clock;
   clock += seconds;
@@ -91,6 +101,7 @@ Cluster::Cluster(int nprocs, MachineConfig config)
   if (nprocs < 1) throw std::invalid_argument("cluster needs >= 1 rank");
   clocks_.assign(static_cast<std::size_t>(nprocs), 0.0);
   stats_.assign(static_cast<std::size_t>(nprocs), RankStats{});
+  blocked_ops_.assign(static_cast<std::size_t>(nprocs), BlockedOp{});
 }
 
 double Cluster::RunResult::elapsed() const {
@@ -103,6 +114,125 @@ void Cluster::emit(const TraceEvent& event) {
   if (sink_ != nullptr) sink_->on_event(event);
 }
 
+std::uint64_t Cluster::payload_checksum(const std::vector<double>& data) {
+  // FNV-1a over the byte representation. Cheap, deterministic, and
+  // sensitive to any single-bit flip of the payload.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const double v : data) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+std::string Cluster::label_of(int id) const {
+  if (id >= 0 && labeler_) return labeler_(id);
+  if (id >= 0) return "tag " + std::to_string(id);
+  return "(unattributed)";
+}
+
+void Cluster::maybe_trip_watchdog() {
+  // Requires mu_. Trip only on provable quiescence: every rank either
+  // finished or is blocked, and every blocked operation is genuinely
+  // stuck (no matching message queued, rendezvous not fired). A rank
+  // that was completed but has not woken yet is *not* stuck — skipping
+  // the trip then avoids false positives during wake-up races.
+  if (watchdog_ <= 0.0 || abort_) return;
+  if (finished_ + blocked_ != nprocs_ || blocked_ == 0) return;
+
+  int victim = -1;
+  bool victim_p2p = false;
+  double victim_deadline = 0.0;
+  for (int r = 0; r < nprocs_; ++r) {
+    const auto& op = blocked_ops_[static_cast<std::size_t>(r)];
+    if (!op.active) continue;
+    if (op.collective) {
+      // The rendezvous this rank waits for could still fire only if
+      // the remaining ranks arrive — but they are all finished or
+      // blocked too, so a still-pending generation means genuinely
+      // stuck. A fired generation means the rank is waking up.
+      if (coll_generation_ != op.generation) return;
+    } else {
+      const auto it = channels_.find({op.peer, r});
+      if (it != channels_.end() &&
+          std::any_of(it->second.begin(), it->second.end(),
+                      [&](const Message& m) { return m.tag == op.tag; })) {
+        return;  // a matching message is queued: the rank is waking up
+      }
+    }
+    const double deadline = op.entry + watchdog_;
+    const bool p2p = !op.collective;
+    // Prefer point-to-point victims: a stuck collective is usually the
+    // downstream symptom of a rank stuck in a receive.
+    const bool better =
+        victim < 0 || (p2p && !victim_p2p) ||
+        (p2p == victim_p2p && deadline < victim_deadline);
+    if (better) {
+      victim = r;
+      victim_p2p = p2p;
+      victim_deadline = deadline;
+    }
+  }
+  if (victim < 0) return;
+
+  const auto& op = blocked_ops_[static_cast<std::size_t>(victim)];
+  timeout_victim_ = victim;
+  timeout_info_ = CommErrorInfo{};
+  timeout_info_.rank = victim;
+  timeout_info_.peer = op.peer;
+  timeout_info_.tag = op.tag;
+  timeout_info_.site = op.site;
+  timeout_info_.time = op.entry + watchdog_;
+  timeout_info_.site_label = label_of(op.collective ? op.site : op.tag);
+  abort_ = true;
+  cv_.notify_all();
+}
+
+void Cluster::throw_released(int rank, const BlockedOp& op) {
+  // Requires mu_. The rank was woken while still blocked: it is either
+  // the watchdog's chosen victim or collateral of another failure.
+  if (timeout_victim_ == rank) {
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = EventKind::Timeout;
+      e.rank = rank;
+      e.peer = timeout_info_.peer;
+      e.tag = timeout_info_.tag;
+      e.site = timeout_info_.site;
+      e.t0 = e.t1 = op.entry;
+      e.arrival = timeout_info_.time;
+      e.wait = watchdog_;
+      emit(e);
+    }
+    std::string what = "watchdog timeout: rank " +
+                       std::to_string(rank) +
+                       (op.collective
+                            ? " blocked in collective"
+                            : " blocked in recv from rank " +
+                                  std::to_string(op.peer) + " tag " +
+                                  std::to_string(op.tag)) +
+                       " at " + timeout_info_.site_label +
+                       ", no live rank can complete it (virtual deadline " +
+                       std::to_string(timeout_info_.time) + " s)";
+    throw CommTimeoutError(what, timeout_info_);
+  }
+  CommErrorInfo info;
+  info.rank = rank;
+  info.peer = op.peer;
+  info.tag = op.tag;
+  info.site = op.site;
+  info.time = clocks_[static_cast<std::size_t>(rank)];
+  info.site_label = label_of(op.collective ? op.site : op.tag);
+  throw CommAbortError("rank " + std::to_string(rank) +
+                           " released from blocking operation: another rank "
+                           "of the run failed",
+                       info);
+}
+
 Cluster::RunResult Cluster::run(const std::function<void(Comm&)>& fn) {
   // Reset state so a Cluster can run several programs.
   {
@@ -113,6 +243,12 @@ Cluster::RunResult Cluster::run(const std::function<void(Comm&)>& fn) {
     stats_.assign(static_cast<std::size_t>(nprocs_), RankStats{});
     coll_arrived_ = 0;
     coll_generation_ = 0;
+    abort_ = false;
+    finished_ = 0;
+    blocked_ = 0;
+    timeout_victim_ = -1;
+    timeout_info_ = CommErrorInfo{};
+    blocked_ops_.assign(static_cast<std::size_t>(nprocs_), BlockedOp{});
   }
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs_));
@@ -122,18 +258,26 @@ Cluster::RunResult Cluster::run(const std::function<void(Comm&)>& fn) {
       Comm comm(*this, r);
       try {
         fn(comm);
+        std::lock_guard lock(mu_);
+        ++finished_;
+        // A rank retiring can be the last event that makes the rest of
+        // the cluster provably stuck.
+        maybe_trip_watchdog();
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Cooperative abort: release every rank blocked in a recv or
+        // collective so all threads join instead of deadlocking.
+        std::lock_guard lock(mu_);
+        ++finished_;
+        abort_ = true;
         cv_.notify_all();
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
   // Report messages that were sent but never received (channel map
-  // iteration order is deterministic, so so is the event order).
+  // iteration order is deterministic, so so is the event order). Done
+  // before any rethrow so even an aborted run leaves a full trace.
   {
     std::lock_guard lock(mu_);
     for (const auto& [route, queue] : channels_) {
@@ -151,6 +295,23 @@ Cluster::RunResult Cluster::run(const std::function<void(Comm&)>& fn) {
       }
     }
   }
+  // Surface the root cause: the lowest rank holding a non-abort error
+  // (CommAbortErrors are the cascade released by the failure, not the
+  // failure). Fall back to the first error of any kind.
+  std::exception_ptr first;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    if (!first) first = e;
+    try {
+      std::rethrow_exception(e);
+    } catch (const CommAbortError&) {
+      continue;
+    } catch (...) {
+      first = e;
+      break;
+    }
+  }
+  if (first) std::rethrow_exception(first);
   RunResult result;
   result.ranks = stats_;
   return result;
@@ -167,6 +328,17 @@ void Cluster::send_impl(int src, int dst, int tag, std::vector<double> data,
       static_cast<double>(n_messages) * config_.net_latency +
       static_cast<double>(bytes) * config_.net_byte_time;
   std::lock_guard lock(mu_);
+  if (abort_) {
+    CommErrorInfo info;
+    info.rank = src;
+    info.peer = dst;
+    info.tag = tag;
+    info.time = clocks_[static_cast<std::size_t>(src)];
+    info.site_label = label_of(tag);
+    throw CommAbortError("rank " + std::to_string(src) +
+                             " send aborted: another rank of the run failed",
+                         info);
+  }
   auto& clock = clocks_[static_cast<std::size_t>(src)];
   auto& st = stats_[static_cast<std::size_t>(src)];
   const double before = clock;
@@ -176,9 +348,17 @@ void Cluster::send_impl(int src, int dst, int tag, std::vector<double> data,
   st.bytes_sent += bytes;
   // Deterministic message id: the per-channel sequence number. Matching
   // is FIFO per (src, dst, tag), so the id is identical across reruns.
+  // Dropped messages consume an id too, keeping identities stable for
+  // targeted fault schedules.
   const long long msg_id = channel_seq_[{src, dst}]++;
-  channels_[{src, dst}].push_back(
-      Message{tag, std::move(data), clock, msg_id, n_messages, bytes});
+  // Integrity checksum taken before the fault hook may touch the
+  // payload: the receiver recomputes and compares.
+  const std::uint64_t checksum = payload_checksum(data);
+  FaultDecision fd;
+  if (fault_ != nullptr) {
+    fd = fault_->on_message(src, dst, tag, msg_id, bytes, clock, data);
+  }
+  const double arrival = clock + fd.extra_delay;
   if (sink_ != nullptr) {
     TraceEvent e;
     e.kind = EventKind::Send;
@@ -190,8 +370,23 @@ void Cluster::send_impl(int src, int dst, int tag, std::vector<double> data,
     e.bytes = bytes;
     e.n_messages = n_messages;
     e.msg_id = msg_id;
-    e.arrival = clock;  // store-and-forward: departure == arrival
+    e.arrival = arrival;  // store-and-forward: departure (+ fault delay)
     emit(e);
+    const auto fault_event = [&](EventKind kind, double wait) {
+      TraceEvent f = e;
+      f.kind = kind;
+      f.t0 = f.t1 = clock;
+      f.wait = wait;
+      emit(f);
+    };
+    if (fd.extra_delay > 0.0) fault_event(EventKind::FaultDelay, fd.extra_delay);
+    if (fd.corrupted) fault_event(EventKind::FaultCorrupt, 0.0);
+    if (fd.drop) fault_event(EventKind::FaultDrop, 0.0);
+  }
+  if (!fd.drop) {
+    channels_[{src, dst}].push_back(Message{tag, std::move(data), arrival,
+                                            msg_id, n_messages, bytes,
+                                            checksum});
   }
   cv_.notify_all();
 }
@@ -204,16 +399,54 @@ std::vector<double> Cluster::recv_impl(int dst, int src, int tag) {
   auto& queue = channels_[{src, dst}];
   // MPI semantics: match the first message with this tag (FIFO per
   // (source, tag) pair), skipping messages with other tags.
-  auto match = queue.end();
-  cv_.wait(lock, [&] {
-    match = std::find_if(queue.begin(), queue.end(), [tag](const Message& m) {
-      return m.tag == tag;
+  const auto find_match = [&] {
+    return std::find_if(queue.begin(), queue.end(),
+                        [tag](const Message& m) { return m.tag == tag; });
+  };
+  auto match = find_match();
+  if (match == queue.end() && abort_) {
+    BlockedOp op;
+    op.peer = src;
+    op.tag = tag;
+    throw_released(dst, op);
+  }
+  if (match == queue.end()) {
+    auto& op = blocked_ops_[static_cast<std::size_t>(dst)];
+    op.active = true;
+    op.collective = false;
+    op.peer = src;
+    op.tag = tag;
+    op.site = -1;
+    op.entry = clocks_[static_cast<std::size_t>(dst)];
+    ++blocked_;
+    maybe_trip_watchdog();
+    cv_.wait(lock, [&] {
+      match = find_match();
+      return match != queue.end() || abort_;
     });
-    return match != queue.end();
-  });
+    --blocked_;
+    const BlockedOp released = op;
+    op.active = false;
+    if (match == queue.end()) throw_released(dst, released);
+  }
   const bool fifo_skip = match != queue.begin();
   Message msg = std::move(*match);
   queue.erase(match);
+  if (payload_checksum(msg.data) != msg.checksum) {
+    CommErrorInfo info;
+    info.rank = dst;
+    info.peer = src;
+    info.tag = tag;
+    info.time = clocks_[static_cast<std::size_t>(dst)];
+    info.site_label = label_of(tag);
+    throw CommChecksumError(
+        "checksum mismatch: message rank " + std::to_string(src) + " -> " +
+            std::to_string(dst) + " tag " + std::to_string(tag) + " (" +
+            std::to_string(msg.bytes) + " B, msg " +
+            std::to_string(msg.msg_id) + ") was corrupted in flight at " +
+            info.site_label,
+        info);
+  }
   auto& clock = clocks_[static_cast<std::size_t>(dst)];
   auto& st = stats_[static_cast<std::size_t>(dst)];
   const double before = clock;
@@ -244,6 +477,12 @@ std::vector<double> Cluster::recv_impl(int dst, int src, int tag) {
 double Cluster::allreduce_impl(int rank, double value, bool is_max,
                                EventKind kind, int site) {
   std::unique_lock lock(mu_);
+  if (abort_) {
+    BlockedOp op;
+    op.collective = true;
+    op.site = site;
+    throw_released(rank, op);
+  }
   const long long my_generation = coll_generation_;
   if (coll_arrived_ == 0) {
     coll_value_max_ = value;
@@ -290,7 +529,23 @@ double Cluster::allreduce_impl(int rank, double value, bool is_max,
     }
     cv_.notify_all();
   } else {
-    cv_.wait(lock, [&] { return coll_generation_ != my_generation; });
+    auto& op = blocked_ops_[static_cast<std::size_t>(rank)];
+    op.active = true;
+    op.collective = true;
+    op.peer = -1;
+    op.tag = -1;
+    op.site = site;
+    op.entry = clocks_[static_cast<std::size_t>(rank)];
+    op.generation = my_generation;
+    ++blocked_;
+    maybe_trip_watchdog();
+    cv_.wait(lock, [&] {
+      return coll_generation_ != my_generation || abort_;
+    });
+    --blocked_;
+    const BlockedOp released = op;
+    op.active = false;
+    if (coll_generation_ == my_generation) throw_released(rank, released);
   }
   return is_max ? coll_value_max_ : coll_value_sum_;
 }

@@ -11,13 +11,17 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "autocfd/mp/comm_error.hpp"
 #include "autocfd/mp/events.hpp"
+#include "autocfd/mp/fault_hook.hpp"
 #include "autocfd/mp/machine.hpp"
 
 namespace autocfd::mp {
@@ -99,6 +103,28 @@ class Cluster {
   /// the cluster lock and must not call back into the cluster.
   void set_event_sink(EventSink* sink) { sink_ = sink; }
 
+  /// Attaches a fault-injection hook for subsequent run() calls
+  /// (nullptr detaches). Invoked under the cluster lock; must not call
+  /// back into the cluster. See autocfd/mp/fault_hook.hpp.
+  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+
+  /// Watchdog deadline in *virtual* seconds. The simulator detects a
+  /// hang exactly (every live rank blocked on an operation no other
+  /// rank can ever complete) with no real-time timers; the deadline
+  /// sets the virtual instant (entry clock + deadline) the victim's
+  /// CommTimeoutError reports and orders victims when several
+  /// operations are stuck. <= 0 disables the watchdog (a genuine hang
+  /// then blocks forever, the pre-hardening behavior).
+  void set_watchdog(double virtual_seconds) { watchdog_ = virtual_seconds; }
+  [[nodiscard]] double watchdog() const { return watchdog_; }
+
+  /// Resolves a tag / collective-site id to a human label for error
+  /// messages (typically sync::TagRegistry::label). Kept as a function
+  /// so the mp layer does not depend on the sync plan.
+  void set_tag_labeler(std::function<std::string(int)> labeler) {
+    labeler_ = std::move(labeler);
+  }
+
   struct RunResult {
     std::vector<RankStats> ranks;
     /// Parallel execution time: the slowest rank's virtual clock.
@@ -106,8 +132,21 @@ class Cluster {
   };
 
   /// Runs `fn` on every rank concurrently; returns per-rank stats.
-  /// Rethrows the first rank exception after joining all threads.
+  /// All rank threads are always joined; if any rank threw, the first
+  /// root-cause error (lowest rank holding a non-CommAbortError, the
+  /// cascade releases the others) is rethrown afterwards. Partial
+  /// per-rank stats of a failed run remain available via last_stats().
   RunResult run(const std::function<void(Comm&)>& fn);
+
+  /// Per-rank stats of the most recent run (complete or aborted).
+  [[nodiscard]] const std::vector<RankStats>& last_stats() const {
+    return stats_;
+  }
+
+  /// FNV-1a checksum over the byte representation of a payload — the
+  /// per-message integrity check the receiver verifies.
+  [[nodiscard]] static std::uint64_t payload_checksum(
+      const std::vector<double>& data);
 
  private:
   friend class Comm;
@@ -115,10 +154,24 @@ class Cluster {
   struct Message {
     int tag;
     std::vector<double> data;
-    double arrival_time;  // sender departure + transfer time
+    double arrival_time;  // sender departure + transfer time (+ faults)
     long long msg_id;     // per-channel sequence, deterministic
     long long n_messages;
     long long bytes;
+    std::uint64_t checksum;  // taken before fault corruption
+  };
+
+  /// What a rank is currently blocked on (watchdog bookkeeping).
+  struct BlockedOp {
+    bool active = false;
+    bool collective = false;
+    int peer = -1;
+    int tag = -1;
+    int site = -1;
+    double entry = 0.0;  // rank clock when it blocked
+    /// Collective generation the op waits on; the op is stuck only
+    /// while coll_generation_ still equals it (rendezvous not fired).
+    long long generation = -1;
   };
 
   void send_impl(int src, int dst, int tag, std::vector<double> data,
@@ -128,10 +181,22 @@ class Cluster {
                         EventKind kind, int site);
   void barrier_impl(int rank, int site);
   void emit(const TraceEvent& event);
+  /// Resolves a tag/site id through the installed labeler.
+  [[nodiscard]] std::string label_of(int id) const;
+  /// Requires the lock. If every live rank is blocked, no operation
+  /// can ever complete: picks the victim (smallest virtual deadline)
+  /// and turns the hang into a CommTimeoutError via the abort flag.
+  void maybe_trip_watchdog();
+  /// Requires the lock. Throws the timeout (victim) or abort
+  /// (collateral) error for a rank released while still blocked.
+  [[noreturn]] void throw_released(int rank, const BlockedOp& op);
 
   int nprocs_;
   MachineConfig config_;
   EventSink* sink_ = nullptr;
+  FaultHook* fault_ = nullptr;
+  double watchdog_ = kDefaultWatchdog;
+  std::function<std::string(int)> labeler_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -141,6 +206,21 @@ class Cluster {
   std::map<std::pair<int, int>, long long> channel_seq_;
   std::vector<double> clocks_;
   std::vector<RankStats> stats_;
+
+  // Abort / watchdog state (one run at a time).
+  bool abort_ = false;
+  int finished_ = 0;       // rank bodies that returned or threw
+  int blocked_ = 0;        // ranks blocked in recv or a collective
+  int timeout_victim_ = -1;
+  CommErrorInfo timeout_info_;
+  std::vector<BlockedOp> blocked_ops_;
+
+ public:
+  /// Default watchdog deadline: 30 virtual seconds, far beyond any
+  /// legitimate wait of the simulated workloads.
+  static constexpr double kDefaultWatchdog = 30.0;
+
+ private:
 
   // Collective rendezvous state.
   int coll_arrived_ = 0;

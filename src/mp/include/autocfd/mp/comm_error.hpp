@@ -1,0 +1,61 @@
+// Structured communication failures of the simulated cluster.
+//
+// The hardened runtime never hangs and never std::terminate()s: a
+// blocked operation that can provably no longer complete becomes a
+// CommTimeoutError, a payload whose checksum does not match becomes a
+// CommChecksumError, and every other rank of the same run is released
+// with a CommAbortError. Each error carries enough identity (rank,
+// peer, tag, sync-plan site label) to attribute the failure back to
+// the synchronization point that issued the communication.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace autocfd::mp {
+
+/// Identity of a failed communication operation.
+struct CommErrorInfo {
+  int rank = -1;   // the rank the error is charged to
+  int peer = -1;   // counterpart rank (-1 for collectives)
+  int tag = -1;    // wire tag (-1 for collectives)
+  int site = -1;   // sync-plan site of a collective (-1 otherwise)
+  double time = 0.0;  // virtual time the failure was declared at
+  /// Resolved sync-plan site label ("halo s3 dim 0", "tag 7", ...)
+  /// when the cluster has a tag labeler installed.
+  std::string site_label;
+};
+
+class CommError : public std::runtime_error {
+ public:
+  CommError(const std::string& what, CommErrorInfo info)
+      : std::runtime_error(what), info_(std::move(info)) {}
+
+  [[nodiscard]] const CommErrorInfo& info() const { return info_; }
+
+ private:
+  CommErrorInfo info_;
+};
+
+/// The watchdog converted a hang (blocked recv or collective that can
+/// never complete) into an error instead of waiting forever.
+class CommTimeoutError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+/// A received payload failed its per-message checksum: the data was
+/// corrupted between send and receive.
+class CommChecksumError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+/// This rank was released from a blocking operation because another
+/// rank of the same run failed; it is collateral, not the root cause.
+class CommAbortError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+}  // namespace autocfd::mp

@@ -15,12 +15,18 @@
 namespace autocfd::mp {
 
 enum class EventKind {
-  Compute,     // add_compute span
-  Send,        // blocking send (latency x n_messages + bytes once)
-  Recv,        // blocking receive; duration is pure idle wait
-  AllReduce,   // collective rendezvous + tree cost
-  Barrier,     // allreduce in disguise (value ignored)
-  Unreceived,  // post-run: a message left sitting in a channel
+  Compute,       // add_compute span
+  Send,          // blocking send (latency x n_messages + bytes once)
+  Recv,          // blocking receive; duration is pure idle wait
+  AllReduce,     // collective rendezvous + tree cost
+  Barrier,       // allreduce in disguise (value ignored)
+  Unreceived,    // post-run: a message left sitting in a channel
+  // Fault-injection events (zero-width markers on the sender's clock;
+  // `wait` carries the injected delay for FaultDelay).
+  FaultDelay,    // message transfer time perturbed by the fault hook
+  FaultDrop,     // message silently discarded by the fault hook
+  FaultCorrupt,  // payload mutated in flight (checksum will catch it)
+  Timeout,       // watchdog declared a blocked operation dead
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind);

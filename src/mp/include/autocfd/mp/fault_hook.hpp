@@ -1,0 +1,45 @@
+// Fault-injection hook of the simulated cluster.
+//
+// A Cluster with a FaultHook installed consults it for every
+// point-to-point wire message (at send time, under the cluster lock)
+// and for every compute span. The hook decides — as a pure function of
+// the message identity and virtual departure time, so decisions are
+// deterministic regardless of host thread scheduling — whether to
+// delay the transfer, drop the message, or corrupt the payload, and
+// how much to slow a rank's computation down. The concrete seeded
+// injector lives in src/fault (fault::FaultInjector); this interface
+// keeps the mp layer free of any dependency on it.
+#pragma once
+
+#include <vector>
+
+namespace autocfd::mp {
+
+/// What the hook decided for one message. Corruption is performed by
+/// the hook itself (it mutates the payload it is handed, *after* the
+/// cluster computed the checksum) and reported back via `corrupted`.
+struct FaultDecision {
+  double extra_delay = 0.0;  // seconds added to the transfer time
+  bool drop = false;         // discard the message instead of enqueuing
+  bool corrupted = false;    // the hook mutated the payload in place
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Called under the cluster lock for every wire message. `payload`
+  /// may be mutated to model in-flight corruption; the checksum has
+  /// already been taken, so the receiver will detect the mutation.
+  virtual FaultDecision on_message(int src, int dst, int tag,
+                                   long long msg_id, long long bytes,
+                                   double departure,
+                                   std::vector<double>& payload) = 0;
+
+  /// Multiplier (>= 1) applied to every compute span of `rank` — the
+  /// straggler / memory-pressure model. Must be constant per rank for
+  /// the run so virtual times stay deterministic.
+  virtual double compute_factor(int rank) = 0;
+};
+
+}  // namespace autocfd::mp

@@ -144,7 +144,11 @@ std::vector<RankBreakdown> rank_breakdown(const Trace& trace) {
           b.transfer += e.t1 - e.arrival;
           break;
         case EventKind::Unreceived:
-          break;
+        case EventKind::FaultDelay:
+        case EventKind::FaultDrop:
+        case EventKind::FaultCorrupt:
+        case EventKind::Timeout:
+          break;  // zero-width markers, no clock contribution
       }
     }
   }

@@ -60,6 +60,19 @@ std::string event_name(const TraceEvent& e, const sync::TagRegistry* tags) {
     case EventKind::Unreceived:
       os << "unreceived -> " << e.peer;
       break;
+    case EventKind::FaultDelay:
+      os << "fault.delay -> " << e.peer;
+      break;
+    case EventKind::FaultDrop:
+      os << "fault.drop -> " << e.peer;
+      break;
+    case EventKind::FaultCorrupt:
+      os << "fault.corrupt -> " << e.peer;
+      break;
+    case EventKind::Timeout:
+      os << "timeout";
+      if (e.peer >= 0) os << " <- " << e.peer;
+      break;
   }
   const int id = (e.kind == EventKind::AllReduce ||
                   e.kind == EventKind::Barrier)
@@ -83,6 +96,10 @@ const char* event_category(const TraceEvent& e) {
     case EventKind::AllReduce:
     case EventKind::Barrier: return "collective";
     case EventKind::Unreceived: return "error";
+    case EventKind::FaultDelay:
+    case EventKind::FaultDrop:
+    case EventKind::FaultCorrupt: return "fault";
+    case EventKind::Timeout: return "error";
   }
   return "?";
 }

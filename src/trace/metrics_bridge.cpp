@@ -41,6 +41,20 @@ void trace_to_metrics(const Trace& trace, obs::MetricsRegistry& reg) {
         case EventKind::Compute:
         case EventKind::Unreceived:  // routed to trace.unreceived
           break;
+        case EventKind::FaultDelay:
+          reg.add("fault.delayed");
+          reg.histogram("fault.delay_s", obs::seconds_buckets())
+              .observe(e.wait);
+          break;
+        case EventKind::FaultDrop:
+          reg.add("fault.dropped");
+          break;
+        case EventKind::FaultCorrupt:
+          reg.add("fault.corrupted");
+          break;
+        case EventKind::Timeout:
+          reg.add("fault.timeouts");
+          break;
       }
     }
   }

@@ -345,5 +345,288 @@ TEST(ClusterRun, CommTimePlusComputeEqualsClock) {
   }
 }
 
+TEST(ClusterRun, ZeroByteMessageDelivered) {
+  // An empty payload is a legal message: it pays latency only, matches
+  // normally, and its checksum verifies.
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  bool got = false;
+  std::vector<double> received{1.0};  // sentinel, must become empty
+  auto result = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 4, {});
+    } else {
+      received = comm.recv(0, 4);
+      got = true;
+    }
+  });
+  EXPECT_TRUE(got);
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(result.ranks[0].messages_sent, 1);
+  EXPECT_EQ(result.ranks[0].bytes_sent, 0);
+  EXPECT_EQ(result.ranks[1].bytes_received, 0);
+}
+
+TEST(ClusterRun, ChunkedSendNonPositiveCountClampsToOne) {
+  MachineConfig cfg;
+  cfg.net_latency = 1e-3;
+  cfg.net_byte_time = 0.0;
+  for (const long long n : {0LL, -5LL}) {
+    Cluster cluster(2, cfg);
+    double sender_clock = 0.0;
+    auto result = cluster.run([&](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.send_chunked(1, 0, {1.0, 2.0}, n);
+        sender_clock = comm.now();
+      } else {
+        (void)comm.recv(0, 0);
+      }
+    });
+    EXPECT_NEAR(sender_clock, 1e-3, 1e-12) << n;  // exactly one latency
+    EXPECT_EQ(result.ranks[0].messages_sent, 1) << n;
+  }
+}
+
+TEST(ClusterHardening, ThrowingRankReleasesBlockedRecv) {
+  // Regression: rank 0 is blocked in a recv that rank 1 would have
+  // served; rank 1 dies first. The run must join all threads (no
+  // deadlock, no std::terminate) and surface rank 1's error as the
+  // root cause, not rank 0's release.
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  try {
+    (void)cluster.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        (void)comm.recv(1, 7);
+      } else {
+        throw std::runtime_error("rank 1 exploded");
+      }
+    });
+    FAIL() << "error was swallowed";
+  } catch (const CommAbortError&) {
+    FAIL() << "collateral abort shadowed the root cause";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 1 exploded");
+  }
+  // Partial stats of the failed run stay retrievable.
+  EXPECT_EQ(cluster.last_stats().size(), 2u);
+}
+
+TEST(ClusterHardening, ThrowingRankReleasesBlockedCollective) {
+  Cluster cluster(3, MachineConfig::pentium_ethernet_1999());
+  try {
+    (void)cluster.run([](Comm& comm) {
+      if (comm.rank() == 2) throw std::runtime_error("rank 2 exploded");
+      comm.barrier();
+    });
+    FAIL() << "error was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 2 exploded");
+  }
+}
+
+TEST(ClusterHardening, WatchdogConvertsHangToTimeout) {
+  // Rank 1 receives a message nobody will ever send: with every live
+  // rank blocked or finished the watchdog must convert the hang into a
+  // CommTimeoutError naming the blocked operation.
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  cluster.set_watchdog(2.0);
+  try {
+    (void)cluster.run([](Comm& comm) {
+      if (comm.rank() == 1) (void)comm.recv(0, 9);
+    });
+    FAIL() << "hang was not detected";
+  } catch (const CommTimeoutError& e) {
+    EXPECT_EQ(e.info().rank, 1);
+    EXPECT_EQ(e.info().peer, 0);
+    EXPECT_EQ(e.info().tag, 9);
+    EXPECT_DOUBLE_EQ(e.info().time, 2.0);  // entry clock 0 + deadline
+    EXPECT_NE(std::string(e.what()).find("tag 9"), std::string::npos);
+  }
+}
+
+TEST(ClusterHardening, WatchdogPrefersRecvOverCollateralCollective) {
+  // Rank 0 hangs in a recv; ranks 1 and 2 reach a barrier that can
+  // never complete. The recv is the root cause and must be the victim;
+  // the barrier ranks are released as collateral aborts.
+  Cluster cluster(3, MachineConfig::pentium_ethernet_1999());
+  cluster.set_watchdog(1.0);
+  try {
+    (void)cluster.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        (void)comm.recv(2, 5);
+      } else {
+        comm.barrier();
+      }
+    });
+    FAIL() << "hang was not detected";
+  } catch (const CommTimeoutError& e) {
+    EXPECT_EQ(e.info().rank, 0);
+    EXPECT_EQ(e.info().peer, 2);
+    EXPECT_EQ(e.info().tag, 5);
+  }
+}
+
+TEST(ClusterHardening, WatchdogEmitsTimeoutEvent) {
+  struct Sink final : EventSink {
+    std::vector<TraceEvent> events;
+    void on_event(const TraceEvent& e) override { events.push_back(e); }
+  } sink;
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  cluster.set_event_sink(&sink);
+  cluster.set_watchdog(0.5);
+  EXPECT_THROW((void)cluster.run([](Comm& comm) {
+                 if (comm.rank() == 0) (void)comm.recv(1, 3);
+               }),
+               CommTimeoutError);
+  bool saw_timeout = false;
+  for (const auto& e : sink.events) {
+    if (e.kind == EventKind::Timeout) {
+      saw_timeout = true;
+      EXPECT_EQ(e.rank, 0);
+      EXPECT_EQ(e.peer, 1);
+      EXPECT_EQ(e.tag, 3);
+    }
+  }
+  EXPECT_TRUE(saw_timeout);
+}
+
+TEST(ClusterHardening, TagLabelerNamesTheSite) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  cluster.set_watchdog(1.0);
+  cluster.set_tag_labeler(
+      [](int id) { return "halo-exchange site " + std::to_string(id); });
+  try {
+    (void)cluster.run([](Comm& comm) {
+      if (comm.rank() == 1) (void)comm.recv(0, 6);
+    });
+    FAIL() << "hang was not detected";
+  } catch (const CommTimeoutError& e) {
+    EXPECT_EQ(e.info().site_label, "halo-exchange site 6");
+    EXPECT_NE(std::string(e.what()).find("halo-exchange site 6"),
+              std::string::npos);
+  }
+}
+
+namespace {
+/// Inline hook corrupting / delaying / dropping by message tag.
+struct TestHook final : FaultHook {
+  int corrupt_tag = -1;
+  int drop_tag = -1;
+  int delay_tag = -1;
+  double delay = 0.0;
+  double factor_rank1 = 1.0;
+
+  FaultDecision on_message(int, int, int tag, long long, long long, double,
+                           std::vector<double>& payload) override {
+    FaultDecision fd;
+    if (tag == corrupt_tag && !payload.empty()) {
+      payload[0] += 1.0;
+      fd.corrupted = true;
+    }
+    if (tag == drop_tag) fd.drop = true;
+    if (tag == delay_tag) fd.extra_delay = delay;
+    return fd;
+  }
+  double compute_factor(int rank) override {
+    return rank == 1 ? factor_rank1 : 1.0;
+  }
+};
+}  // namespace
+
+TEST(ClusterHardening, ChecksumCatchesCorruptedPayload) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  TestHook hook;
+  hook.corrupt_tag = 7;
+  cluster.set_fault_hook(&hook);
+  try {
+    (void)cluster.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.send(1, 7, {1.0, 2.0});
+      } else {
+        (void)comm.recv(0, 7);
+      }
+    });
+    FAIL() << "corruption was consumed silently";
+  } catch (const CommChecksumError& e) {
+    EXPECT_EQ(e.info().rank, 1);
+    EXPECT_EQ(e.info().peer, 0);
+    EXPECT_EQ(e.info().tag, 7);
+  }
+}
+
+TEST(ClusterHardening, FaultDelayShiftsArrivalNotSenderClock) {
+  MachineConfig cfg;
+  cfg.net_latency = 1e-3;
+  cfg.net_byte_time = 0.0;
+  Cluster cluster(2, cfg);
+  TestHook hook;
+  hook.delay_tag = 2;
+  hook.delay = 50e-3;
+  cluster.set_fault_hook(&hook);
+  double sender_clock = 0.0, recv_clock = 0.0;
+  (void)cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 2, {1.0});
+      sender_clock = comm.now();
+    } else {
+      (void)comm.recv(0, 2);
+      recv_clock = comm.now();
+    }
+  });
+  EXPECT_NEAR(sender_clock, 1e-3, 1e-12);          // unchanged
+  EXPECT_NEAR(recv_clock, 1e-3 + 50e-3, 1e-12);    // delayed in flight
+}
+
+TEST(ClusterHardening, DroppedMessageTripsWatchdogNotDeadlock) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  TestHook hook;
+  hook.drop_tag = 8;
+  cluster.set_fault_hook(&hook);
+  cluster.set_watchdog(1.5);
+  try {
+    (void)cluster.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.send(1, 8, {1.0});
+      } else {
+        (void)comm.recv(0, 8);
+      }
+    });
+    FAIL() << "drop was not detected";
+  } catch (const CommTimeoutError& e) {
+    EXPECT_EQ(e.info().rank, 1);
+    EXPECT_EQ(e.info().peer, 0);
+    EXPECT_EQ(e.info().tag, 8);
+  }
+}
+
+TEST(ClusterHardening, ComputeFactorSlowsStragglerOnly) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  TestHook hook;
+  hook.factor_rank1 = 3.0;
+  cluster.set_fault_hook(&hook);
+  auto result = cluster.run([](Comm& comm) { comm.add_compute(1e-3); });
+  EXPECT_NEAR(result.ranks[0].compute_time, 1e-3, 1e-12);
+  EXPECT_NEAR(result.ranks[1].compute_time, 3e-3, 1e-12);
+}
+
+TEST(ClusterHardening, RunStateResetsAfterAbortedRun) {
+  // A failed run must not poison the next one.
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  cluster.set_watchdog(1.0);
+  EXPECT_THROW((void)cluster.run([](Comm& comm) {
+                 if (comm.rank() == 0) (void)comm.recv(1, 1);
+               }),
+               CommTimeoutError);
+  std::vector<double> got;
+  auto result = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, {4.0});
+    } else {
+      got = comm.recv(0, 1);
+    }
+  });
+  EXPECT_EQ(got, std::vector<double>{4.0});
+  EXPECT_EQ(result.ranks[0].messages_sent, 1);
+}
+
 }  // namespace
 }  // namespace autocfd::mp

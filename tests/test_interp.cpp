@@ -402,5 +402,38 @@ TEST(Interp, WorkingSetBytes) {
   EXPECT_EQ(r->env.array_bytes(), (100 * 100 + 50) * 8);
 }
 
+TEST(Interp, NonFiniteArrayStoreIsDiagnosed) {
+  // A diverging solver writing inf/NaN into a status array must fail
+  // loudly at the first store, naming the array and the statement.
+  try {
+    (void)run_sequential(
+        "program p\n"
+        "real a(5)\n"
+        "real z\n"
+        "z = 0.0\n"
+        "a(1) = 1.0 / z\n"
+        "end\n");
+    FAIL() << "non-finite store was accepted";
+  } catch (const autocfd::CompileError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+    EXPECT_NE(what.find("'a'"), std::string::npos) << what;
+    EXPECT_NE(what.find("5"), std::string::npos) << what;  // line number
+  }
+}
+
+TEST(Interp, FiniteScalarNonFiniteAllowedTransiently) {
+  // Scalars are not guarded: a non-finite intermediate that never
+  // reaches an array is the program's own business.
+  const auto r = run_sequential(
+      "program p\n"
+      "real z, y\n"
+      "z = 0.0\n"
+      "y = 1.0 / z\n"
+      "y = 2.0\n"
+      "end\n");
+  EXPECT_DOUBLE_EQ(scalar_of(*r, "p", "y"), 2.0);
+}
+
 }  // namespace
 }  // namespace autocfd::interp
