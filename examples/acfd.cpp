@@ -48,6 +48,9 @@ void usage() {
       "  --nprocs N         processor count for the partition search\n"
       "  --strategy S       sync combining: min (default) | pairwise | none\n"
       "  --run              execute on the simulated cluster and validate\n"
+      "  --engine=E         statement executor: bytecode (default) | tree\n"
+      "                     (the reference tree-walker; results are\n"
+      "                     bit-identical, bytecode is just faster)\n"
       "  --report           print the analysis report only (no output file)\n"
       "  --explain[=FMT]    print decision provenance; FMT: text | json\n"
       "                     (json: the log goes to stdout alone, human\n"
@@ -80,6 +83,7 @@ int main(int argc, char** argv) {
   bool explain = false, explain_json = false, profile = false;
   std::string faults_spec;
   double watchdog = mp::Cluster::kDefaultWatchdog;
+  auto engine = interp::EngineKind::Bytecode;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -125,6 +129,15 @@ int main(int argc, char** argv) {
       watchdog = std::atof(arg.c_str() + 11);
     } else if (arg == "--watchdog") {
       watchdog = std::atof(next());
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      try {
+        engine = interp::parse_engine_kind(arg.substr(9));
+      } catch (const CompileError& e) {
+        std::fprintf(stderr, "acfd: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--engine") {
+      engine = interp::parse_engine_kind(next());
     } else {
       usage();
       return 2;
@@ -215,10 +228,11 @@ int main(int argc, char** argv) {
       run_opts.sink = metrics_path.empty() ? nullptr : &recorder;
       run_opts.faults = faults_spec.empty() ? nullptr : &injector;
       run_opts.watchdog = watchdog;
+      run_opts.engine = engine;
       auto par = program->run(machine, run_opts);
       auto seq_file = fortran::parse_source(source);
       const auto seq = codegen::run_sequential_timed(
-          seq_file, dirs.status_arrays, machine);
+          seq_file, dirs.status_arrays, machine, engine);
       double max_diff = 0.0;
       for (const auto& name : dirs.status_arrays) {
         const auto sit = seq.arrays.find(name);
@@ -235,6 +249,14 @@ int main(int argc, char** argv) {
           "(speedup %.2f), max deviation %g\n",
           seq.elapsed, par.elapsed, program->meta.spec.num_tasks(),
           seq.elapsed / par.elapsed, max_diff);
+      if (engine == interp::EngineKind::Bytecode) {
+        const auto es = par.engine_stats;
+        std::fprintf(chat,
+                     "acfd: bytecode engine: %lld kernels compiled, "
+                     "%lld cache hits, %lld walks reduced, %lld rejects\n",
+                     es.kernels_compiled + es.stmts_compiled, es.cache_hits,
+                     es.walks_reduced, es.compile_rejects);
+      }
       if (!faults_spec.empty()) {
         const auto& fc = injector.counters();
         std::fprintf(chat,
@@ -246,6 +268,9 @@ int main(int argc, char** argv) {
       if (!metrics_path.empty()) {
         trace::trace_to_metrics(recorder.trace(), obs.metrics);
         if (!faults_spec.empty()) injector.export_metrics(obs.metrics);
+        for (const auto& [key, value] : par.engine_stats.items()) {
+          obs.metrics.add(std::string("engine.bytecode.") + key, value);
+        }
       }
       if (max_diff != 0.0) {
         std::fprintf(stderr, "acfd: VALIDATION FAILED\n");

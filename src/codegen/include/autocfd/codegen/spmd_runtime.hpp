@@ -27,6 +27,9 @@ struct SpmdRunResult {
   std::map<std::string, std::vector<double>> gathered;
   std::vector<std::string> rank0_output;
   double total_flops = 0.0;
+  /// Bytecode-engine counters summed over all ranks (zeros when the
+  /// run used the tree-walker).
+  interp::bytecode::EngineStats engine_stats;
 };
 
 /// Runtime knobs of a simulated SPMD run.
@@ -41,6 +44,8 @@ struct SpmdRunOptions {
   /// Watchdog deadline in virtual seconds (<= 0 disables); see
   /// mp::Cluster::set_watchdog.
   double watchdog = mp::Cluster::kDefaultWatchdog;
+  /// Statement executor every rank's interpreter uses.
+  interp::EngineKind engine = interp::EngineKind::Bytecode;
 };
 
 /// Runs the restructured `file` on spec.num_tasks() simulated ranks.
@@ -64,12 +69,29 @@ struct SeqRunResult {
   double flops = 0.0;
   std::map<std::string, std::vector<double>> arrays;  // status arrays
   std::vector<std::string> output;
+  interp::bytecode::EngineStats engine_stats;
 };
 
 /// Runs an *unrestructured* sequential program under the same machine
 /// model (flops x flop time x memory factor of the full working set).
 [[nodiscard]] SeqRunResult run_sequential_timed(
     fortran::SourceFile& file, const std::vector<std::string>& status_arrays,
-    const mp::MachineConfig& machine);
+    const mp::MachineConfig& machine,
+    interp::EngineKind engine = interp::EngineKind::Bytecode);
+
+/// Appends the slab of `av` where dimension `dim` spans [d_lo, d_hi]
+/// (global indices; every other dimension spans the full local
+/// allocation) to `out` in column-major element order. The slab always
+/// decomposes into lines that are contiguous in memory, which are
+/// copied wholesale — this is the halo-packing fast path.
+void pack_slab(const interp::ArrayValue& av, int dim, long long d_lo,
+               long long d_hi, std::vector<double>& out);
+
+/// Inverse of pack_slab: writes the same slab from `in` starting at
+/// `pos` (advanced past the consumed elements). Throws CompileError
+/// when `in` holds fewer elements than the slab needs.
+void unpack_slab(interp::ArrayValue& av, int dim, long long d_lo,
+                 long long d_hi, const std::vector<double>& in,
+                 std::size_t& pos);
 
 }  // namespace autocfd::codegen

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "autocfd/partition/grid.hpp"
 
@@ -49,41 +50,6 @@ struct RankRuntime {
     return env->arrays[static_cast<std::size_t>(slot)];
   }
 
-  /// Iterates the slab of `av` where dimension `dim` spans
-  /// [d_lo, d_hi] (global indices) and every other distributed or
-  /// extended dimension spans the full local allocation. `fn` receives
-  /// the linear element index.
-  template <typename Fn>
-  void for_slab(ArrayValue& av, int dim, long long d_lo, long long d_hi,
-                Fn&& fn) {
-    const int rank = av.rank();
-    std::vector<long long> lo(static_cast<std::size_t>(rank));
-    std::vector<long long> hi(static_cast<std::size_t>(rank));
-    for (int d = 0; d < rank; ++d) {
-      const auto du = static_cast<std::size_t>(d);
-      if (d == dim) {
-        lo[du] = d_lo;
-        hi[du] = d_hi;
-      } else {
-        lo[du] = av.lower[du];
-        hi[du] = av.upper(d);
-      }
-    }
-    // Column-major order walk.
-    std::vector<long long> idx = lo;
-    while (true) {
-      fn(av.index(idx));
-      int d = 0;
-      while (d < rank) {
-        const auto du = static_cast<std::size_t>(d);
-        if (++idx[du] <= hi[du]) break;
-        idx[du] = lo[du];
-        ++d;
-      }
-      if (d == rank) break;
-    }
-  }
-
   /// One aggregated halo exchange (a combined synchronization point).
   /// Dimensions are processed in ascending order so corner ghosts fill
   /// transitively; within a dimension, the low side is exchanged before
@@ -107,8 +73,7 @@ struct RankRuntime {
           if (send_w <= 0) continue;
           auto& av = array(h.array);
           const long long base = dir > 0 ? sg.hi[du] - send_w + 1 : sg.lo[du];
-          for_slab(av, dim, base, base + send_w - 1,
-                   [&](long long i) { outbox.push_back(av.data[static_cast<std::size_t>(i)]); });
+          pack_slab(av, dim, base, base + send_w - 1, outbox);
         }
         // One logical exchange per (dimension, neighbor pair): both
         // peers must use the same tag for the paired sendrecv. The
@@ -126,9 +91,7 @@ struct RankRuntime {
           auto& av = array(h.array);
           const long long base =
               dir > 0 ? sg.hi[du] + 1 : sg.lo[du] - recv_w;
-          for_slab(av, dim, base, base + recv_w - 1, [&](long long i) {
-            av.data[static_cast<std::size_t>(i)] = inbox.at(pos++);
-          });
+          unpack_slab(av, dim, base, base + recv_w - 1, inbox, pos);
         }
         if (pos != inbox.size()) {
           throw autocfd::CompileError("halo exchange size mismatch");
@@ -170,9 +133,7 @@ struct RankRuntime {
       if (w <= 0) continue;
       auto& av = array(h.array);
       const long long base = up < 0 ? sg.lo[du] - w : sg.hi[du] + 1;
-      for_slab(av, dim, base, base + w - 1, [&](long long i) {
-        av.data[static_cast<std::size_t>(i)] = inbox.at(pos++);
-      });
+      unpack_slab(av, dim, base, base + w - 1, inbox, pos);
     }
   }
 
@@ -192,9 +153,7 @@ struct RankRuntime {
       auto& av = array(h.array);
       const long long base =
           down > 0 ? sg.hi[du] - w + 1 : sg.lo[du];
-      for_slab(av, dim, base, base + w - 1, [&](long long i) {
-        outbox.push_back(av.data[static_cast<std::size_t>(i)]);
-      });
+      pack_slab(av, dim, base, base + w - 1, outbox);
     }
     // One message per grid line of the owned face: the fine-grained
     // pipelining of the mirror-image sweep (this is what makes the
@@ -225,6 +184,85 @@ struct RankRuntime {
 };
 
 }  // namespace
+
+namespace {
+
+/// Shape of a slab as contiguous memory chunks. A slab fixes one
+/// dimension to [d_lo, d_hi] and spans every other dimension fully, so
+/// in column-major storage it is `nblocks` blocks of `chunk`
+/// contiguous doubles, one block every `block_stride` elements — the
+/// element order is exactly the old per-element column-major walk.
+struct SlabChunks {
+  std::size_t base = 0;          // linear index of the first element
+  std::size_t chunk = 0;         // contiguous doubles per block
+  std::size_t block_stride = 0;  // element distance between blocks
+  std::size_t nblocks = 0;
+  std::size_t total = 0;
+};
+
+SlabChunks slab_chunks(const ArrayValue& av, int dim, long long d_lo,
+                       long long d_hi) {
+  const int rank = av.rank();
+  if (dim < 0 || dim >= rank) {
+    throw autocfd::CompileError("slab dimension out of range");
+  }
+  // Bounds check with the exact message ArrayValue::index would give.
+  {
+    std::vector<long long> corner(static_cast<std::size_t>(rank));
+    for (int d = 0; d < rank; ++d) {
+      corner[static_cast<std::size_t>(d)] =
+          d == dim ? d_lo : av.lower[static_cast<std::size_t>(d)];
+    }
+    (void)av.index(corner);
+    corner[static_cast<std::size_t>(dim)] = d_hi;
+    (void)av.index(corner);
+  }
+  SlabChunks s;
+  const auto du = static_cast<std::size_t>(dim);
+  std::size_t inner = 1;  // elements per unit step of `dim`
+  for (std::size_t d = 0; d < du; ++d) {
+    inner *= static_cast<std::size_t>(av.extent[d]);
+  }
+  const auto span = static_cast<std::size_t>(d_hi - d_lo + 1);
+  s.base = static_cast<std::size_t>(d_lo - av.lower[du]) * inner;
+  s.chunk = inner * span;
+  s.block_stride = inner * static_cast<std::size_t>(av.extent[du]);
+  s.nblocks = 1;
+  for (std::size_t d = du + 1; d < static_cast<std::size_t>(rank); ++d) {
+    s.nblocks *= static_cast<std::size_t>(av.extent[d]);
+  }
+  s.total = s.chunk * s.nblocks;
+  return s;
+}
+
+}  // namespace
+
+void pack_slab(const ArrayValue& av, int dim, long long d_lo, long long d_hi,
+               std::vector<double>& out) {
+  const SlabChunks s = slab_chunks(av, dim, d_lo, d_hi);
+  std::size_t at = out.size();
+  out.resize(at + s.total);
+  const double* src = av.data.data() + s.base;
+  for (std::size_t b = 0; b < s.nblocks; ++b) {
+    std::memcpy(out.data() + at, src, s.chunk * sizeof(double));
+    at += s.chunk;
+    src += s.block_stride;
+  }
+}
+
+void unpack_slab(ArrayValue& av, int dim, long long d_lo, long long d_hi,
+                 const std::vector<double>& in, std::size_t& pos) {
+  const SlabChunks s = slab_chunks(av, dim, d_lo, d_hi);
+  if (pos + s.total > in.size()) {
+    throw autocfd::CompileError("halo exchange size mismatch");
+  }
+  double* dst = av.data.data() + s.base;
+  for (std::size_t b = 0; b < s.nblocks; ++b) {
+    std::memcpy(dst, in.data() + pos, s.chunk * sizeof(double));
+    pos += s.chunk;
+    dst += s.block_stride;
+  }
+}
 
 SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
                        const mp::MachineConfig& machine,
@@ -257,6 +295,8 @@ SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
   std::vector<std::vector<std::string>> outputs(
       static_cast<std::size_t>(nprocs));
   std::vector<double> flops(static_cast<std::size_t>(nprocs), 0.0);
+  std::vector<interp::bytecode::EngineStats> engine_stats(
+      static_cast<std::size_t>(nprocs));
 
   auto result_cluster = cluster.run([&](mp::Comm& comm) {
     const int r = comm.rank();
@@ -297,11 +337,12 @@ SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
     hooks.on_write = [&outputs, r](const std::string& line) {
       outputs[static_cast<std::size_t>(r)].push_back(line);
     };
-    interp::Interpreter interp(image, hooks);
+    interp::Interpreter interp(image, hooks, options.engine);
     rt.interp = &interp;
     interp.run(env);
     rt.flush_compute();
     flops[static_cast<std::size_t>(r)] = interp.flops();
+    engine_stats[static_cast<std::size_t>(r)] = interp.engine_stats();
   });
 
   SpmdRunResult result;
@@ -309,6 +350,7 @@ SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
   result.elapsed = result.cluster.elapsed();
   result.rank0_output = std::move(outputs[0]);
   for (const auto f : flops) result.total_flops += f;
+  for (const auto& es : engine_stats) result.engine_stats += es;
 
   // Gather owned blocks into global arrays for validation.
   for (const auto& name : meta.status_arrays) {
@@ -367,18 +409,20 @@ SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
 
 SeqRunResult run_sequential_timed(fortran::SourceFile& file,
                                   const std::vector<std::string>& status_arrays,
-                                  const mp::MachineConfig& machine) {
+                                  const mp::MachineConfig& machine,
+                                  interp::EngineKind engine) {
   DiagnosticEngine diags;
   auto image = interp::ProgramImage::build(file, diags);
   throw_if_errors(diags, "sequential image build");
   Env env(image);
   env.allocate_arrays(image, diags);
   throw_if_errors(diags, "sequential allocation");
-  interp::Interpreter interp(image);
+  interp::Interpreter interp(image, {}, engine);
   interp.run(env);
 
   SeqRunResult out;
   out.flops = interp.flops();
+  out.engine_stats = interp.engine_stats();
   out.elapsed =
       out.flops * machine.flop_time * machine.memory_factor(env.array_bytes());
   out.output = interp.output();

@@ -1,0 +1,262 @@
+// Dispatch loop for compiled programs. Every operation here must stay
+// bit-identical to the tree-walker (see the header contract); the
+// scalar math is shared via eval_ops.hpp.
+#include <cmath>
+#include <string>
+
+#include "autocfd/interp/bytecode.hpp"
+#include "autocfd/interp/eval_ops.hpp"
+
+namespace autocfd::interp::bytecode {
+
+namespace {
+
+[[noreturn]] void throw_oob(int dim, long long value, long long lo,
+                            long long hi) {
+  // Same format as ArrayValue::index so the engines fail identically.
+  throw autocfd::CompileError(
+      "array subscript out of bounds: dim " + std::to_string(dim + 1) +
+      " value " + std::to_string(value) + " not in [" + std::to_string(lo) +
+      ", " + std::to_string(hi) + "]");
+}
+
+}  // namespace
+
+ExecSignal Program::execute(Env& env, double& flops) const {
+  if (regs_.size() < static_cast<std::size_t>(num_regs_)) {
+    regs_.resize(static_cast<std::size_t>(num_regs_), 0.0);
+  }
+  if (loop_state_.size() < loops_.size()) loop_state_.resize(loops_.size());
+  if (walk_state_.size() < walks_.size()) walk_state_.resize(walks_.size());
+
+  double* const regs = regs_.data();
+  double* const scalars = env.scalars.data();
+  ArrayValue* const arrays = env.arrays.data();
+  const Instr* const code = code_.data();
+
+  std::size_t pc = 0;
+  for (;;) {
+    const Instr& in = code[pc];
+    switch (in.op) {
+      case Op::Imm:
+        regs[in.a] = in.imm;
+        ++pc;
+        break;
+      case Op::LoadScalar:
+        regs[in.a] = scalars[in.b];
+        ++pc;
+        break;
+      case Op::StoreScalar:
+        scalars[in.b] = regs[in.a];
+        ++pc;
+        break;
+      case Op::LoadElem: {
+        const ArrayValue& av = arrays[in.b];
+        long long subs[8];
+        for (int k = 0; k < in.d; ++k) {
+          subs[k] = static_cast<long long>(std::llround(regs[in.c + k]));
+        }
+        regs[in.a] = av.data[static_cast<std::size_t>(
+            av.index({subs, static_cast<std::size_t>(in.d)}))];
+        ++pc;
+        break;
+      }
+      case Op::StoreElem: {
+        ArrayValue& av = arrays[in.b];
+        long long subs[8];
+        for (int k = 0; k < in.d; ++k) {
+          subs[k] = static_cast<long long>(std::llround(regs[in.c + k]));
+        }
+        av.data[static_cast<std::size_t>(
+            av.index({subs, static_cast<std::size_t>(in.d)}))] = regs[in.a];
+        ++pc;
+        break;
+      }
+      case Op::LoadWalk:
+        regs[in.a] = arrays[in.b].data[static_cast<std::size_t>(
+            walk_state_[static_cast<std::size_t>(in.c)].cur)];
+        ++pc;
+        break;
+      case Op::StoreWalk:
+        arrays[in.b].data[static_cast<std::size_t>(
+            walk_state_[static_cast<std::size_t>(in.c)].cur)] = regs[in.a];
+        ++pc;
+        break;
+      case Op::CheckFinite: {
+        const double v = regs[in.a];
+        if (!std::isfinite(v)) {
+          const fortran::Stmt& s = *stmts_[static_cast<std::size_t>(in.b)];
+          throw autocfd::CompileError(
+              "non-finite value (" + std::to_string(v) +
+              ") assigned to array '" + s.lhs->name + "' at " + s.loc.str() +
+              ": the computation diverged");
+        }
+        ++pc;
+        break;
+      }
+      case Op::Neg:
+        regs[in.a] = -regs[in.b];
+        ++pc;
+        break;
+      case Op::Not:
+        regs[in.a] = regs[in.b] != 0.0 ? 0.0 : 1.0;
+        ++pc;
+        break;
+      case Op::Add:
+        regs[in.a] = regs[in.b] + regs[in.c];
+        ++pc;
+        break;
+      case Op::Sub:
+        regs[in.a] = regs[in.b] - regs[in.c];
+        ++pc;
+        break;
+      case Op::Mul:
+        regs[in.a] = regs[in.b] * regs[in.c];
+        ++pc;
+        break;
+      case Op::Div:
+        regs[in.a] = regs[in.b] / regs[in.c];
+        ++pc;
+        break;
+      case Op::Pow:
+        regs[in.a] = eval_pow(regs[in.b], regs[in.c]);
+        ++pc;
+        break;
+      case Op::Lt:
+        regs[in.a] = regs[in.b] < regs[in.c] ? 1.0 : 0.0;
+        ++pc;
+        break;
+      case Op::Le:
+        regs[in.a] = regs[in.b] <= regs[in.c] ? 1.0 : 0.0;
+        ++pc;
+        break;
+      case Op::Gt:
+        regs[in.a] = regs[in.b] > regs[in.c] ? 1.0 : 0.0;
+        ++pc;
+        break;
+      case Op::Ge:
+        regs[in.a] = regs[in.b] >= regs[in.c] ? 1.0 : 0.0;
+        ++pc;
+        break;
+      case Op::CmpEq:
+        regs[in.a] = regs[in.b] == regs[in.c] ? 1.0 : 0.0;
+        ++pc;
+        break;
+      case Op::CmpNe:
+        regs[in.a] = regs[in.b] != regs[in.c] ? 1.0 : 0.0;
+        ++pc;
+        break;
+      case Op::Intrin:
+        regs[in.a] = apply_intrinsic(static_cast<Intrinsic>(in.b),
+                                     regs + in.c,
+                                     static_cast<std::size_t>(in.d));
+        ++pc;
+        break;
+      case Op::AddFlops:
+        flops += in.imm;
+        ++pc;
+        break;
+      case Op::Jump:
+        pc = static_cast<std::size_t>(in.a);
+        break;
+      case Op::JumpIfZero:
+        pc = regs[in.a] == 0.0 ? static_cast<std::size_t>(in.b) : pc + 1;
+        break;
+      case Op::JumpIfNotZero:
+        pc = regs[in.a] != 0.0 ? static_cast<std::size_t>(in.b) : pc + 1;
+        break;
+      case Op::LoopBegin: {
+        const LoopDesc& ld = loops_[static_cast<std::size_t>(in.a)];
+        const auto lo = static_cast<long long>(std::llround(regs[in.b]));
+        const auto hi = static_cast<long long>(std::llround(regs[in.c]));
+        const auto step = static_cast<long long>(std::llround(regs[in.d]));
+        if (step == 0) {
+          throw autocfd::CompileError("do loop with zero step");
+        }
+        long long count = 0;
+        if (step > 0) {
+          count = lo <= hi ? (hi - lo) / step + 1 : 0;
+        } else {
+          count = lo >= hi ? (lo - hi) / (-step) + 1 : 0;
+        }
+        if (count == 0) {
+          pc = static_cast<std::size_t>(ld.exit_pc);
+          break;
+        }
+        loop_state_[static_cast<std::size_t>(in.a)] =
+            LoopState{lo, lo + (count - 1) * step, step};
+        scalars[ld.var_slot] = static_cast<double>(lo);
+        ++pc;
+        break;
+      }
+      case Op::LoopNext: {
+        LoopState& ls = loop_state_[static_cast<std::size_t>(in.a)];
+        if (ls.v == ls.last) {
+          ++pc;  // falls through to exit_pc
+          break;
+        }
+        ls.v += ls.step;
+        const LoopDesc& ld = loops_[static_cast<std::size_t>(in.a)];
+        scalars[ld.var_slot] = static_cast<double>(ls.v);
+        for (const int w : ld.walks) {
+          WalkState& ws = walk_state_[static_cast<std::size_t>(w)];
+          ws.cur += ws.stride;
+        }
+        pc = static_cast<std::size_t>(ld.body_pc);
+        break;
+      }
+      case Op::WalkInit: {
+        const WalkDesc& wd = walks_[static_cast<std::size_t>(in.a)];
+        const ArrayValue& av = arrays[wd.array_slot];
+        if (static_cast<int>(wd.dims.size()) != av.rank()) {
+          throw autocfd::CompileError("subscript rank mismatch");
+        }
+        const LoopState& ls = loop_state_[static_cast<std::size_t>(wd.loop)];
+        long long idx = 0;
+        long long stride = 0;
+        long long dimstride = 1;
+        for (std::size_t d = 0; d < wd.dims.size(); ++d) {
+          const WalkDim& dim = wd.dims[d];
+          long long first = 0;
+          long long last = 0;
+          if (dim.affine) {
+            first = ls.v + dim.offset;
+            last = ls.last + dim.offset;
+          } else {
+            first = static_cast<long long>(std::llround(regs[dim.reg]));
+            last = first;
+          }
+          const long long lo = av.lower[d];
+          const long long hi = av.upper(static_cast<int>(d));
+          // The check is hoisted over the whole iteration range; report
+          // the value of the *first failing iteration*, exactly what
+          // the per-iteration check of the tree-walker would report.
+          if (first < lo || first > hi) throw_oob(static_cast<int>(d), first, lo, hi);
+          if (last < lo || last > hi) {
+            long long bad = 0;
+            if (ls.step > 0) {
+              bad = first + ((hi - first) / ls.step + 1) * ls.step;
+            } else {
+              bad = first - ((first - lo) / (-ls.step) + 1) * (-ls.step);
+            }
+            throw_oob(static_cast<int>(d), bad, lo, hi);
+          }
+          idx += (first - lo) * dimstride;
+          if (dim.affine) stride += ls.step * dimstride;
+          dimstride *= av.extent[d];
+        }
+        walk_state_[static_cast<std::size_t>(in.a)] = WalkState{idx, stride};
+        ++pc;
+        break;
+      }
+      case Op::Ret:
+        return ExecSignal::Return;
+      case Op::StopProg:
+        return ExecSignal::Stop;
+      case Op::Halt:
+        return ExecSignal::Normal;
+    }
+  }
+}
+
+}  // namespace autocfd::interp::bytecode

@@ -33,7 +33,13 @@ long long eval_bound(const fortran::Expr& e, const Env& env) {
         case fortran::BinOp::Add: return a + b;
         case fortran::BinOp::Sub: return a - b;
         case fortran::BinOp::Mul: return a * b;
-        case fortran::BinOp::Div: return b == 0 ? 0 : a / b;
+        case fortran::BinOp::Div:
+          if (b == 0) {
+            // Returning 0 here used to silently give the array an
+            // empty/garbage shape; fail loudly at allocation instead.
+            throw autocfd::CompileError("division by zero in array bound");
+          }
+          return a / b;
         default:
           throw autocfd::CompileError(
               "unsupported operator in array bound");
@@ -87,8 +93,17 @@ void Env::allocate_arrays(const ProgramImage& image,
     ArrayValue av;
     long long total = 1;
     for (const auto& dim : decl->dims) {
-      const long long lo = dim.lower ? eval_bound(*dim.lower, *this) : 1;
-      const long long hi = eval_bound(*dim.upper, *this);
+      long long lo = 1;
+      long long hi = 0;
+      try {
+        lo = dim.lower ? eval_bound(*dim.lower, *this) : 1;
+        hi = eval_bound(*dim.upper, *this);
+      } catch (const autocfd::CompileError& err) {
+        throw autocfd::CompileError(std::string(err.what()) +
+                                    " in declaration of array '" +
+                                    infos[s].name + "' at " +
+                                    decl->loc.str());
+      }
       if (hi < lo) {
         diags.error(decl->loc, "array '" + infos[s].name +
                                    "' has an empty dimension at run time");

@@ -37,8 +37,8 @@ struct Resolver {
   ProgramImage* image;
   fortran::SourceFile* file;
   DiagnosticEngine* diags;
-  std::map<std::string, int>* scalar_by_key;
-  std::map<std::string, int>* array_by_key;
+  std::unordered_map<std::string, int>* scalar_by_key;
+  std::unordered_map<std::string, int>* array_by_key;
   std::vector<ArraySlotInfo>* arrays;
   int* num_scalars;
 

@@ -1,0 +1,187 @@
+// Bytecode execution engine for the Fortran-subset interpreter.
+//
+// The tree-walker re-walks every Expr node, re-rounds every subscript
+// and re-checks every array bound on every iteration of every field
+// loop — the dominant host-time cost of the whole simulated cluster.
+// This engine compiles each DO loop (and each standalone assignment)
+// once into a flat, register-based postfix program and caches it by
+// statement identity; execution is a branch-light dispatch loop over a
+// flat instruction vector.
+//
+// Strength reduction: inside a compiled loop, array references whose
+// subscripts are all either affine in that loop's induction variable
+// (v, v+c, v-c) or loop-invariant become "walks": the linear element
+// index is computed once at loop entry (with the per-dimension bounds
+// check hoisted to cover the whole iteration range) and advanced by a
+// constant stride per iteration, so the inner loop touches contiguous
+// doubles with no rounding and no bounds test. Reduction is only
+// applied to references in straight-line statements of loops that
+// cannot exit early (no RETURN/STOP in the body), so a hoisted check
+// can never fire for an access the tree-walker would not perform on a
+// *successfully completing* run; a run that would fault inside the
+// loop faults at loop entry instead, with the same message format.
+//
+// Everything else about the semantics — evaluation order, llround
+// subscript rounding, the pow fast path, short-circuit logicals, the
+// non-finite array-store guard, per-assignment flop accounting — is
+// shared with or copied exactly from the tree-walker, and the
+// differential tests assert bit-identical scalars, arrays and trace
+// event streams across both engines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "autocfd/interp/env.hpp"
+
+namespace autocfd::interp::bytecode {
+
+enum class Op : std::uint8_t {
+  Imm,          // r[a] = imm
+  LoadScalar,   // r[a] = scalars[b]
+  StoreScalar,  // scalars[b] = r[a]
+  LoadElem,     // r[a] = arrays[b][llround(r[c .. c+d-1])] (checked)
+  StoreElem,    // arrays[b][llround(r[c .. c+d-1])] = r[a] (checked)
+  LoadWalk,     // r[a] = arrays[b].data[walk[c].cur]
+  StoreWalk,    // arrays[b].data[walk[c].cur] = r[a]
+  CheckFinite,  // throw CompileError unless r[a] is finite (stmt b)
+  Neg,          // r[a] = -r[b]
+  Not,          // r[a] = r[b] != 0 ? 0 : 1
+  Add, Sub, Mul, Div, Pow,          // r[a] = r[b] op r[c]
+  Lt, Le, Gt, Ge, CmpEq, CmpNe,     // r[a] = r[b] op r[c] ? 1 : 0
+  Intrin,       // r[a] = intrinsic b applied to r[c .. c+d-1]
+  AddFlops,     // flops += imm
+  Jump,         // pc = a
+  JumpIfZero,   // if (r[a] == 0) pc = b
+  JumpIfNotZero,  // if (r[a] != 0) pc = b
+  LoopBegin,    // enter loop a: lo=r[b], hi=r[c], step=r[d]
+  LoopNext,     // advance loop a: jump to body or fall through to exit
+  WalkInit,     // initialize walk a (hoisted bounds check)
+  Ret,          // halt with Signal::Return
+  StopProg,     // halt with Signal::Stop
+  Halt,         // normal end of program
+};
+
+struct Instr {
+  Op op = Op::Halt;
+  int a = 0, b = 0, c = 0, d = 0;
+  double imm = 0.0;
+};
+
+/// Compile-time description of one DO loop in a kernel.
+struct LoopDesc {
+  int var_slot = -1;        // env scalar slot of the induction variable
+  int body_pc = 0;          // first instruction of the loop body
+  int exit_pc = 0;          // first instruction after the loop
+  std::vector<int> walks;   // walk indices advanced each iteration
+};
+
+/// One dimension of a strength-reduced array reference.
+struct WalkDim {
+  bool affine = false;   // subscript == induction variable + offset
+  long long offset = 0;  // affine case
+  int reg = -1;          // invariant case: register holding the value
+};
+
+/// Compile-time description of one strength-reduced array reference.
+struct WalkDesc {
+  int array_slot = -1;
+  int loop = -1;  // owning LoopDesc index
+  std::vector<WalkDim> dims;
+};
+
+enum class ExecSignal { Normal, Return, Stop };
+
+/// Compile/cache counters, surfaced through the obs metrics registry
+/// as `engine.bytecode.*` by the CLI and the benches.
+struct EngineStats {
+  long long kernels_compiled = 0;  // DO statements compiled to kernels
+  long long stmts_compiled = 0;    // standalone assignments compiled
+  long long compile_rejects = 0;   // statements left to the tree-walker
+  long long cache_hits = 0;        // executions served from the cache
+  long long kernel_runs = 0;       // compiled program executions
+  long long instrs_emitted = 0;
+  long long walks_reduced = 0;     // array refs turned into walks
+
+  EngineStats& operator+=(const EngineStats& o) {
+    kernels_compiled += o.kernels_compiled;
+    stmts_compiled += o.stmts_compiled;
+    compile_rejects += o.compile_rejects;
+    cache_hits += o.cache_hits;
+    kernel_runs += o.kernel_runs;
+    instrs_emitted += o.instrs_emitted;
+    walks_reduced += o.walks_reduced;
+    return *this;
+  }
+
+  /// Name/value pairs for metrics export (stable order).
+  [[nodiscard]] std::vector<std::pair<const char*, long long>> items() const {
+    return {{"kernels_compiled", kernels_compiled},
+            {"stmts_compiled", stmts_compiled},
+            {"compile_rejects", compile_rejects},
+            {"cache_hits", cache_hits},
+            {"kernel_runs", kernel_runs},
+            {"instrs_emitted", instrs_emitted},
+            {"walks_reduced", walks_reduced}};
+  }
+};
+
+/// One compiled statement: a DO-loop kernel or a single assignment.
+/// Execution scratch is owned by the program and reused across runs;
+/// a Program must only be executed by one thread at a time (each
+/// Interpreter — hence each simulated rank — owns its own cache).
+class Program {
+ public:
+  ExecSignal execute(Env& env, double& flops) const;
+
+  [[nodiscard]] const std::vector<Instr>& code() const { return code_; }
+  [[nodiscard]] const std::vector<LoopDesc>& loops() const { return loops_; }
+  [[nodiscard]] const std::vector<WalkDesc>& walks() const { return walks_; }
+
+ private:
+  friend class Compiler;
+
+  struct LoopState {
+    long long v = 0, last = 0, step = 1;
+  };
+  struct WalkState {
+    long long cur = 0, stride = 0;
+  };
+
+  std::vector<Instr> code_;
+  std::vector<LoopDesc> loops_;
+  std::vector<WalkDesc> walks_;
+  /// Statements referenced by CheckFinite for error attribution.
+  std::vector<const fortran::Stmt*> stmts_;
+  int num_regs_ = 0;
+
+  // Reused scratch (single-threaded per owning interpreter).
+  mutable std::vector<double> regs_;
+  mutable std::vector<LoopState> loop_state_;
+  mutable std::vector<WalkState> walk_state_;
+};
+
+/// Per-interpreter compile cache keyed by statement identity (the AST
+/// node address — stable for the lifetime of the SourceFile).
+class BytecodeEngine {
+ public:
+  explicit BytecodeEngine(const ProgramImage& image) : image_(&image) {}
+
+  /// Returns the compiled program for `s` (compiling on first call),
+  /// or nullptr when the statement is outside the compilable subset
+  /// and must be tree-walked. Only Do and Assign statements are
+  /// candidates.
+  const Program* compiled(const fortran::Stmt& s);
+
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  EngineStats& mutable_stats() { return stats_; }
+
+ private:
+  const ProgramImage* image_;
+  std::unordered_map<const fortran::Stmt*, std::unique_ptr<Program>> cache_;
+  EngineStats stats_;
+};
+
+}  // namespace autocfd::interp::bytecode

@@ -1,0 +1,72 @@
+// Scalar operation semantics shared by the two execution engines.
+//
+// The tree-walking interpreter (the reference) and the bytecode VM
+// must produce bit-identical doubles for every operation; keeping the
+// floating-point kernels in one header makes that true by
+// construction instead of by careful duplication. Everything here is
+// a pure function of its double arguments.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "autocfd/interp/image.hpp"
+
+namespace autocfd::interp {
+
+/// Fortran `**`: small non-negative integer exponents take a repeated
+/// -multiply fast path (which is NOT bit-identical to std::pow, so both
+/// engines must share this exact sequence).
+[[nodiscard]] inline double eval_pow(double a, double b) {
+  const auto ib = static_cast<long long>(b);
+  if (static_cast<double>(ib) == b && ib >= 0 && ib <= 8) {
+    double r = 1.0;
+    for (long long k = 0; k < ib; ++k) r *= a;
+    return r;
+  }
+  return std::pow(a, b);
+}
+
+/// Applies intrinsic `op` to `n` already-evaluated arguments. Matches
+/// the historical tree-walker semantics exactly: a missing first
+/// argument reads as 0.0, max/min fold left with std::max/std::min.
+[[nodiscard]] inline double apply_intrinsic(Intrinsic op, const double* args,
+                                            std::size_t n) {
+  const double a = n > 0 ? args[0] : 0.0;
+  switch (op) {
+    case Intrinsic::Abs: return std::fabs(a);
+    case Intrinsic::Sqrt: return std::sqrt(a);
+    case Intrinsic::Exp: return std::exp(a);
+    case Intrinsic::Log: return std::log(a);
+    case Intrinsic::Sin: return std::sin(a);
+    case Intrinsic::Cos: return std::cos(a);
+    case Intrinsic::Tan: return std::tan(a);
+    case Intrinsic::Atan: return std::atan(a);
+    case Intrinsic::Atan2: return std::atan2(a, args[1]);
+    case Intrinsic::Max: {
+      double m = a;
+      for (std::size_t i = 1; i < n; ++i) m = std::max(m, args[i]);
+      return m;
+    }
+    case Intrinsic::Min: {
+      double m = a;
+      for (std::size_t i = 1; i < n; ++i) m = std::min(m, args[i]);
+      return m;
+    }
+    case Intrinsic::Mod: return std::fmod(a, args[1]);
+    case Intrinsic::Int: return std::trunc(a);
+    case Intrinsic::Nint: return std::nearbyint(a);
+    case Intrinsic::Float:
+    case Intrinsic::Real:
+    case Intrinsic::Dble:
+      return a;
+    case Intrinsic::Sign: {
+      const double b = args[1];
+      return b >= 0.0 ? std::fabs(a) : -std::fabs(a);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace autocfd::interp

@@ -17,8 +17,8 @@
 // allocation time.
 #pragma once
 
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "autocfd/fortran/ast.hpp"
@@ -82,8 +82,10 @@ class ProgramImage {
   const fortran::ProgramUnit* main_ = nullptr;
   int num_scalars_ = 0;
   std::vector<ArraySlotInfo> arrays_;
-  std::map<std::string, int> scalar_by_key_;
-  std::map<std::string, int> array_by_key_;
+  // Hash maps: name lookups happen for every reference during image
+  // build and for every declared array at each per-rank env setup.
+  std::unordered_map<std::string, int> scalar_by_key_;
+  std::unordered_map<std::string, int> array_by_key_;
   std::vector<std::pair<int, double>> presets_;
 };
 

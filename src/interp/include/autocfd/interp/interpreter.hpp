@@ -12,12 +12,26 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "autocfd/interp/bytecode.hpp"
 #include "autocfd/interp/env.hpp"
 
 namespace autocfd::interp {
+
+/// Which executor runs statements: the tree-walker is the reference
+/// implementation, the bytecode engine the fast default (results are
+/// bit-identical; see bytecode.hpp).
+enum class EngineKind { Tree, Bytecode };
+
+[[nodiscard]] constexpr std::string_view engine_kind_name(EngineKind k) {
+  return k == EngineKind::Tree ? "tree" : "bytecode";
+}
+
+/// Parses "tree" / "bytecode"; throws CompileError otherwise.
+[[nodiscard]] EngineKind parse_engine_kind(std::string_view name);
 
 class Interpreter {
  public:
@@ -31,7 +45,8 @@ class Interpreter {
     std::function<void(const std::string&)> on_write;
   };
 
-  Interpreter(const ProgramImage& image, Hooks hooks = {});
+  Interpreter(const ProgramImage& image, Hooks hooks = {},
+              EngineKind engine = EngineKind::Bytecode);
 
   /// Runs the main program to completion.
   void run(Env& env);
@@ -50,6 +65,13 @@ class Interpreter {
     return output_;
   }
 
+  [[nodiscard]] EngineKind engine() const { return engine_; }
+  /// Compile/cache counters of the bytecode engine (all zero when
+  /// running on the tree-walker).
+  [[nodiscard]] bytecode::EngineStats engine_stats() const {
+    return bc_ ? bc_->stats() : bytecode::EngineStats{};
+  }
+
  private:
   enum class Signal { Normal, Goto, Return, Stop };
 
@@ -62,6 +84,9 @@ class Interpreter {
 
   const ProgramImage* image_;
   Hooks hooks_;
+  EngineKind engine_ = EngineKind::Bytecode;
+  /// Lazily holds the per-interpreter compile cache (bytecode mode).
+  std::unique_ptr<bytecode::BytecodeEngine> bc_;
   double flops_ = 0.0;
   int pending_goto_ = 0;
   std::vector<std::string> output_;
@@ -78,6 +103,6 @@ struct SequentialResult {
 };
 /// Note: the result holds image/env referencing its own `file`.
 [[nodiscard]] std::unique_ptr<SequentialResult> run_sequential(
-    std::string_view source);
+    std::string_view source, EngineKind engine = EngineKind::Bytecode);
 
 }  // namespace autocfd::interp

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "autocfd/fortran/parser.hpp"
+#include "autocfd/interp/eval_ops.hpp"
 
 namespace autocfd::interp {
 
@@ -12,8 +13,20 @@ using fortran::ExprKind;
 using fortran::Stmt;
 using fortran::StmtKind;
 
-Interpreter::Interpreter(const ProgramImage& image, Hooks hooks)
-    : image_(&image), hooks_(std::move(hooks)) {}
+EngineKind parse_engine_kind(std::string_view name) {
+  if (name == "tree") return EngineKind::Tree;
+  if (name == "bytecode") return EngineKind::Bytecode;
+  throw autocfd::CompileError("unknown engine '" + std::string(name) +
+                              "' (expected tree or bytecode)");
+}
+
+Interpreter::Interpreter(const ProgramImage& image, Hooks hooks,
+                         EngineKind engine)
+    : image_(&image), hooks_(std::move(hooks)), engine_(engine) {
+  if (engine_ == EngineKind::Bytecode) {
+    bc_ = std::make_unique<bytecode::BytecodeEngine>(image);
+  }
+}
 
 void Interpreter::run(Env& env) {
   const auto* main = image_->main();
@@ -81,16 +94,8 @@ double Interpreter::eval(const Expr& e, Env& env) const {
         case fortran::BinOp::Sub: return a - b;
         case fortran::BinOp::Mul: return a * b;
         case fortran::BinOp::Div: return a / b;
-        case fortran::BinOp::Pow: {
-          // Integer exponents take the fast path.
-          const auto ib = static_cast<long long>(b);
-          if (static_cast<double>(ib) == b && ib >= 0 && ib <= 8) {
-            double r = 1.0;
-            for (long long k = 0; k < ib; ++k) r *= a;
-            return r;
-          }
-          return std::pow(a, b);
-        }
+        case fortran::BinOp::Pow:
+          return eval_pow(a, b);
         case fortran::BinOp::Lt: return a < b ? 1.0 : 0.0;
         case fortran::BinOp::Le: return a <= b ? 1.0 : 0.0;
         case fortran::BinOp::Gt: return a > b ? 1.0 : 0.0;
@@ -101,51 +106,18 @@ double Interpreter::eval(const Expr& e, Env& env) const {
       }
     }
     case ExprKind::Intrinsic: {
-      const auto op = static_cast<Intrinsic>(e.slot);
-      const double a = e.args.empty() ? 0.0 : eval(*e.args[0], env);
-      switch (op) {
-        case Intrinsic::Abs: return std::fabs(a);
-        case Intrinsic::Sqrt: return std::sqrt(a);
-        case Intrinsic::Exp: return std::exp(a);
-        case Intrinsic::Log: return std::log(a);
-        case Intrinsic::Sin: return std::sin(a);
-        case Intrinsic::Cos: return std::cos(a);
-        case Intrinsic::Tan: return std::tan(a);
-        case Intrinsic::Atan: return std::atan(a);
-        case Intrinsic::Atan2:
-          return std::atan2(a, eval(*e.args[1], env));
-        case Intrinsic::Max: {
-          double m = a;
-          for (std::size_t i = 1; i < e.args.size(); ++i) {
-            m = std::max(m, eval(*e.args[i], env));
-          }
-          return m;
-        }
-        case Intrinsic::Min: {
-          double m = a;
-          for (std::size_t i = 1; i < e.args.size(); ++i) {
-            m = std::min(m, eval(*e.args[i], env));
-          }
-          return m;
-        }
-        case Intrinsic::Mod: {
-          const double b = eval(*e.args[1], env);
-          return std::fmod(a, b);
-        }
-        case Intrinsic::Int:
-          return std::trunc(a);
-        case Intrinsic::Nint:
-          return std::nearbyint(a);
-        case Intrinsic::Float:
-        case Intrinsic::Real:
-        case Intrinsic::Dble:
-          return a;
-        case Intrinsic::Sign: {
-          const double b = eval(*e.args[1], env);
-          return b >= 0.0 ? std::fabs(a) : -std::fabs(a);
-        }
+      // Arguments evaluate left to right, then the shared scalar
+      // kernel applies the operation (identical to the VM's Intrin).
+      const std::size_t n = e.args.size();
+      double buf[8];
+      std::vector<double> big;
+      double* vals = buf;
+      if (n > 8) {
+        big.resize(n);
+        vals = big.data();
       }
-      return 0.0;
+      for (std::size_t i = 0; i < n; ++i) vals[i] = eval(*e.args[i], env);
+      return apply_intrinsic(static_cast<Intrinsic>(e.slot), vals, n);
     }
   }
   return 0.0;
@@ -178,9 +150,26 @@ Interpreter::Signal Interpreter::exec_list(const fortran::StmtList& list,
 Interpreter::Signal Interpreter::exec_stmt(const Stmt& s, Env& env) {
   switch (s.kind) {
     case StmtKind::Assign:
+      if (bc_) {
+        if (const auto* prog = bc_->compiled(s)) {
+          ++bc_->mutable_stats().kernel_runs;
+          prog->execute(env, flops_);  // a lone Assign always halts Normal
+          return Signal::Normal;
+        }
+      }
       exec_assign(s, env);
       return Signal::Normal;
     case StmtKind::Do:
+      if (bc_) {
+        if (const auto* prog = bc_->compiled(s)) {
+          ++bc_->mutable_stats().kernel_runs;
+          switch (prog->execute(env, flops_)) {
+            case bytecode::ExecSignal::Normal: return Signal::Normal;
+            case bytecode::ExecSignal::Return: return Signal::Return;
+            case bytecode::ExecSignal::Stop: return Signal::Stop;
+          }
+        }
+      }
       return exec_do(s, env);
     case StmtKind::If: {
       if (eval(*s.cond, env) != 0.0) {
@@ -337,7 +326,8 @@ void Interpreter::exec_write(const Stmt& s, Env& env) {
   }
 }
 
-std::unique_ptr<SequentialResult> run_sequential(std::string_view source) {
+std::unique_ptr<SequentialResult> run_sequential(std::string_view source,
+                                                 EngineKind engine) {
   auto result = std::make_unique<SequentialResult>();
   result->file = fortran::parse_source(source);
   DiagnosticEngine diags;
@@ -346,7 +336,7 @@ std::unique_ptr<SequentialResult> run_sequential(std::string_view source) {
   result->env = Env(result->image);
   result->env.allocate_arrays(result->image, diags);
   throw_if_errors(diags, "array allocation");
-  Interpreter interp(result->image);
+  Interpreter interp(result->image, {}, engine);
   interp.run(result->env);
   result->flops = interp.flops();
   result->output = interp.output();

@@ -125,6 +125,22 @@ TEST(Interp, OutOfBoundsThrows) {
                CompileError);
 }
 
+TEST(Interp, DivisionByZeroInArrayBoundThrowsWithDeclaration) {
+  try {
+    (void)run_sequential(
+        "program p\n"
+        "parameter (k = 0)\n"
+        "real a(10 / k)\n"
+        "end\n");
+    FAIL() << "zero divisor in a declared bound was accepted";
+  } catch (const autocfd::CompileError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("division by zero"), std::string::npos) << what;
+    EXPECT_NE(what.find("'a'"), std::string::npos) << what;
+    EXPECT_NE(what.find("3"), std::string::npos) << what;  // line number
+  }
+}
+
 TEST(Interp, IfElseBranches) {
   const auto r = run_sequential(
       "program p\n"

@@ -12,7 +12,9 @@
 #include <sstream>
 
 #include "autocfd/core/pipeline.hpp"
+#include "autocfd/fault/fault.hpp"
 #include "autocfd/fortran/parser.hpp"
+#include "autocfd/trace/recorder.hpp"
 
 namespace autocfd::core {
 namespace {
@@ -123,6 +125,116 @@ TEST_P(RandomEquivalence, SpmdMatchesSequentialBitwise) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomEquivalence,
                          ::testing::Range(1u, 21u));
+
+// --- Engine cross-product ---------------------------------------------------
+
+void expect_traces_identical(const trace::Trace& a, const trace::Trace& b) {
+  ASSERT_EQ(a.nranks, b.nranks);
+  ASSERT_EQ(a.per_rank.size(), b.per_rank.size());
+  for (std::size_t r = 0; r < a.per_rank.size(); ++r) {
+    ASSERT_EQ(a.per_rank[r].size(), b.per_rank[r].size()) << "rank " << r;
+    for (std::size_t i = 0; i < a.per_rank[r].size(); ++i) {
+      const auto& ea = a.per_rank[r][i];
+      const auto& eb = b.per_rank[r][i];
+      SCOPED_TRACE("rank " + std::to_string(r) + " event " +
+                   std::to_string(i));
+      EXPECT_EQ(static_cast<int>(ea.kind), static_cast<int>(eb.kind));
+      EXPECT_EQ(ea.rank, eb.rank);
+      EXPECT_EQ(ea.t0, eb.t0);
+      EXPECT_EQ(ea.t1, eb.t1);
+      EXPECT_EQ(ea.peer, eb.peer);
+      EXPECT_EQ(ea.tag, eb.tag);
+      EXPECT_EQ(ea.bytes, eb.bytes);
+      EXPECT_EQ(ea.n_messages, eb.n_messages);
+      EXPECT_EQ(ea.msg_id, eb.msg_id);
+      EXPECT_EQ(ea.arrival, eb.arrival);
+      EXPECT_EQ(ea.wait, eb.wait);
+      EXPECT_EQ(ea.fifo_skip, eb.fifo_skip);
+      EXPECT_EQ(ea.coll_seq, eb.coll_seq);
+      EXPECT_EQ(ea.site, eb.site);
+    }
+  }
+  EXPECT_EQ(a.unreceived.size(), b.unreceived.size());
+}
+
+/// The bytecode engine must be observationally indistinguishable from
+/// the tree-walker: same scalars, same arrays, same flop counts (hence
+/// same virtual clocks, hence the same trace event stream) — clean and
+/// under a timing-only fault plan.
+class EngineEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EngineEquivalence, BytecodeMatchesTreeBitwise) {
+  const auto prog = generate(GetParam());
+  SCOPED_TRACE(prog.source);
+  const auto machine = mp::MachineConfig::pentium_ethernet_1999();
+
+  // Sequential: the complete final environment must agree bitwise.
+  const auto tree = interp::run_sequential(prog.source,
+                                           interp::EngineKind::Tree);
+  const auto byte_ = interp::run_sequential(prog.source,
+                                            interp::EngineKind::Bytecode);
+  EXPECT_EQ(tree->flops, byte_->flops);
+  ASSERT_EQ(tree->env.scalars.size(), byte_->env.scalars.size());
+  for (std::size_t i = 0; i < tree->env.scalars.size(); ++i) {
+    ASSERT_EQ(tree->env.scalars[i], byte_->env.scalars[i]) << "scalar " << i;
+  }
+  ASSERT_EQ(tree->env.arrays.size(), byte_->env.arrays.size());
+  for (std::size_t a = 0; a < tree->env.arrays.size(); ++a) {
+    const auto& ta = tree->env.arrays[a].data;
+    const auto& ba = byte_->env.arrays[a].data;
+    ASSERT_EQ(ta.size(), ba.size()) << "array " << a;
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      ASSERT_EQ(ta[i], ba[i]) << "array " << a << "[" << i << "]";
+    }
+  }
+
+  // SPMD: gathered arrays and the full trace event stream must agree,
+  // clean and under a timing-only chaos plan (which must not change
+  // computed values on either engine).
+  auto plan = fault::FaultPlan::parse("seed=11,jitter=0.5:0.03");
+  ASSERT_TRUE(plan.timing_only());
+  for (const bool faulty : {false, true}) {
+    SCOPED_TRACE(faulty ? "faulty" : "clean");
+    std::map<std::string, std::vector<double>> gathered[2];
+    trace::Trace traces[2];
+    for (const auto engine :
+         {interp::EngineKind::Tree, interp::EngineKind::Bytecode}) {
+      DiagnosticEngine diags;
+      auto dirs = Directives::extract(prog.source, diags);
+      ASSERT_FALSE(diags.has_errors()) << diags.dump();
+      dirs.partition = partition::PartitionSpec::parse("2x2");
+      auto parallel = parallelize(prog.source, dirs);
+      trace::TraceRecorder recorder;
+      fault::FaultInjector injector(plan);
+      codegen::SpmdRunOptions opts;
+      opts.sink = &recorder;
+      opts.faults = faulty ? &injector : nullptr;
+      opts.engine = engine;
+      auto par = parallel->run(machine, opts);
+      const auto idx = engine == interp::EngineKind::Tree ? 0 : 1;
+      gathered[idx] = std::move(par.gathered);
+      traces[idx] = recorder.take();
+      if (engine == interp::EngineKind::Bytecode) {
+        EXPECT_GT(par.engine_stats.kernels_compiled, 0);
+        EXPECT_GT(par.engine_stats.kernel_runs, 0);
+      } else {
+        EXPECT_EQ(par.engine_stats.kernel_runs, 0);
+      }
+    }
+    for (const auto& name : prog.arrays) {
+      const auto& t = gathered[0].at(name);
+      const auto& b = gathered[1].at(name);
+      ASSERT_EQ(t.size(), b.size());
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        ASSERT_EQ(t[i], b[i]) << name << "[" << i << "]";
+      }
+    }
+    expect_traces_identical(traces[0], traces[1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalence,
+                         ::testing::Range(1u, 9u));
 
 }  // namespace
 }  // namespace autocfd::core
