@@ -18,6 +18,7 @@
 #include "autocfd/cfd/apps.hpp"
 #include "autocfd/core/pipeline.hpp"
 #include "autocfd/fortran/parser.hpp"
+#include "autocfd/prof/source_profile.hpp"
 
 namespace bench_util {
 
@@ -29,22 +30,56 @@ inline std::map<std::string, double>& json_records() {
   return records;
 }
 
+/// String-valued sidecar records (loop classes etc.). Kept separate
+/// from the numeric map; write_json_report interleaves both sorted.
+inline std::map<std::string, std::string>& json_string_records() {
+  static std::map<std::string, std::string> records;
+  return records;
+}
+
 /// Records one measurement (e.g. "aerofoil.4x1x1.elapsed_s").
 inline void record(const std::string& key, double value) {
   json_records()[key] = value;
 }
 
-/// Writes the recorded measurements as a flat JSON object.
+/// Records one string-valued fact (e.g. "hot.0.class").
+inline void record_str(const std::string& key, const std::string& value) {
+  json_string_records()[key] = value;
+}
+
+/// Writes the recorded measurements as a flat JSON object (numeric and
+/// string values interleaved in one sorted key order).
 inline void write_json_report(const std::string& path) {
   std::ofstream os(path);
   os << "{\n";
   bool first = true;
-  for (const auto& [key, value] : json_records()) {
+  auto nit = json_records().begin();
+  auto sit = json_string_records().begin();
+  const auto emit_sep = [&] {
     if (!first) os << ",\n";
     first = false;
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.17g", value);
-    os << "  \"" << key << "\": " << buf;
+  };
+  while (nit != json_records().end() ||
+         sit != json_string_records().end()) {
+    const bool take_num =
+        sit == json_string_records().end() ||
+        (nit != json_records().end() && nit->first < sit->first);
+    if (take_num) {
+      emit_sep();
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", nit->second);
+      os << "  \"" << nit->first << "\": " << buf;
+      ++nit;
+    } else {
+      emit_sep();
+      std::string escaped;
+      for (const char ch : sit->second) {
+        if (ch == '"' || ch == '\\') escaped += '\\';
+        escaped += ch;
+      }
+      os << "  \"" << sit->first << "\": \"" << escaped << "\"";
+      ++sit;
+    }
   }
   os << "\n}\n";
 }
@@ -79,8 +114,28 @@ inline void record_phase_profile(const autocfd::obs::PassProfiler& profiler) {
   record("phase.total.wall_s", profiler.total_wall_s());
 }
 
+/// Folds the run's five hottest attribution units into the sidecar:
+/// "hot.<i>.line" / ".time_s" / ".share" numeric plus ".class" string
+/// (the explain engine's A/R/C/O letters, "-" for plain statements).
+/// Later runs overwrite earlier ones — the sidecar keeps the hot block
+/// of the last profiled run.
+inline void record_hot_loops(const autocfd::prof::SourceProfile& profile) {
+  const auto hot = profile.hottest(5);
+  for (std::size_t i = 0; i < hot.size(); ++i) {
+    const std::string prefix = "hot." + std::to_string(i);
+    record(prefix + ".line", static_cast<double>(hot[i]->loc.line));
+    record(prefix + ".time_s", hot[i]->time_s);
+    record(prefix + ".share", hot[i]->share);
+    record_str(prefix + ".class",
+               hot[i]->loop_class.empty()
+                   ? (hot[i]->is_loop ? "?" : "-")
+                   : hot[i]->loop_class);
+  }
+}
+
 /// Parallelizes and runs `source` under `partition`. Every call also
-/// profiles the pre-compiler phases into the sidecar's phase block.
+/// profiles the pre-compiler phases into the sidecar's phase block and
+/// the run's hottest loops into its hot block.
 inline autocfd::codegen::SpmdRunResult run_par(
     const std::string& source, const std::string& partition) {
   autocfd::DiagnosticEngine diags;
@@ -90,36 +145,37 @@ inline autocfd::codegen::SpmdRunResult run_par(
   auto program = autocfd::core::parallelize(
       source, dirs, autocfd::sync::CombineStrategy::Min, &obs);
   record_phase_profile(obs.profiler);
-  return program->run(autocfd::mp::MachineConfig::pentium_ethernet_1999());
+  autocfd::codegen::SpmdRunOptions run_opts;
+  run_opts.profile = true;
+  auto result = program->run(
+      autocfd::mp::MachineConfig::pentium_ethernet_1999(), run_opts);
+  auto profile = autocfd::prof::build_source_profile(result.profiles);
+  autocfd::prof::attach_provenance(profile, obs.provenance);
+  record_hot_loops(profile);
+  return result;
 }
 
 /// Standard tail: write the JSON sidecar (if anything was recorded),
 /// print a footer and hand over to google-benchmark.
 inline int finish(int argc, char** argv) {
   if (argc >= 1) {
-    // Every sidecar embeds a phase-timing block. Benches that never went
-    // through run_par (pure analysis sweeps) profile one small aerofoil
-    // pipeline so the block is present with the same schema.
-    bool have_phases = false;
+    // Every sidecar embeds a phase-timing block and a hot-loop block.
+    // Benches that never went through run_par (pure analysis sweeps)
+    // run one small aerofoil so both blocks are present with the same
+    // schema.
+    bool have_phases = false, have_hot = false;
     for (const auto& [key, value] : json_records()) {
       (void)value;
-      if (key.rfind("phase.", 0) == 0) {
-        have_phases = true;
-        break;
-      }
+      if (key.rfind("phase.", 0) == 0) have_phases = true;
+      if (key.rfind("hot.", 0) == 0) have_hot = true;
     }
-    if (!have_phases) {
+    if (!have_phases || !have_hot) {
       autocfd::cfd::AerofoilParams small;
       small.n1 = 24;
       small.n2 = 10;
       small.n3 = 4;
       small.frames = 1;
-      autocfd::obs::ObsContext obs;
-      auto program =
-          autocfd::core::parallelize(autocfd::cfd::aerofoil_source(small),
-                                     &obs);
-      (void)program;
-      record_phase_profile(obs.profiler);
+      (void)run_par(autocfd::cfd::aerofoil_source(small), "2x1x1");
     }
     std::string stem = argv[0];
     if (const auto slash = stem.find_last_of('/'); slash != std::string::npos) {

@@ -1,7 +1,8 @@
 // acfd: the Auto-CFD pre-compiler as a command-line tool.
 //
 //   acfd input.f [-o output.f] [--partition 4x1x1 | --nprocs 6]
-//        [--strategy min|pairwise|none] [--run] [--report]
+//        [--strategy min|pairwise|none] [--run] [--analyze]
+//        [--report[=json|text|html]] [--report-out r.json]
 //        [--explain[=text|json]] [--profile] [--metrics-out m.json]
 //        [--faults=SPEC] [--watchdog=SEC]
 //
@@ -23,6 +24,12 @@
 //   --metrics-out F    write the unified metrics registry (compile
 //                      phases; plus per-rank runtime histograms when
 //                      --run is given) as JSON to F.
+//   --report[=FMT]     execute (implies --run) with source-attributed
+//                      profiling on and emit the unified run report —
+//                      compile decisions joined with per-loop runtime
+//                      cost, the communication matrix and per-rank
+//                      timelines. FMT: text (default) | json | html.
+//   --report-out F     write the run report to F instead of stdout.
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -33,6 +40,8 @@
 #include "autocfd/core/pipeline.hpp"
 #include "autocfd/fault/fault.hpp"
 #include "autocfd/fortran/parser.hpp"
+#include "autocfd/prof/report.hpp"
+#include "autocfd/support/output_paths.hpp"
 #include "autocfd/trace/metrics_bridge.hpp"
 #include "autocfd/trace/recorder.hpp"
 
@@ -51,7 +60,11 @@ void usage() {
       "  --engine=E         statement executor: bytecode (default) | tree\n"
       "                     (the reference tree-walker; results are\n"
       "                     bit-identical, bytecode is just faster)\n"
-      "  --report           print the analysis report only (no output file)\n"
+      "  --analyze          print the analysis report only (no output file)\n"
+      "  --report[=FMT]     run (implies --run) with profiling and emit the\n"
+      "                     unified run report; FMT: text (default) | json\n"
+      "                     | html\n"
+      "  --report-out F     write the run report to F instead of stdout\n"
       "  --explain[=FMT]    print decision provenance; FMT: text | json\n"
       "                     (json: the log goes to stdout alone, human\n"
       "                     output to stderr)\n"
@@ -77,9 +90,12 @@ int main(int argc, char** argv) {
   std::string output_path;
   std::string partition_arg;
   std::string metrics_path;
+  std::string report_path;
+  bool want_report = false;
+  auto report_format = prof::ReportFormat::Text;
   int nprocs = 0;
   auto strategy = sync::CombineStrategy::Min;
-  bool run = false, report_only = false;
+  bool run = false, analyze_only = false;
   bool explain = false, explain_json = false, profile = false;
   std::string faults_spec;
   double watchdog = mp::Cluster::kDefaultWatchdog;
@@ -111,8 +127,23 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--run") {
       run = true;
-    } else if (arg == "--report") {
-      report_only = true;
+    } else if (arg == "--analyze") {
+      analyze_only = true;
+    } else if (arg == "--report" || arg.rfind("--report=", 0) == 0) {
+      const std::string fmt =
+          arg.size() > 8 && arg[8] == '=' ? arg.substr(9) : "";
+      const auto parsed = prof::parse_report_format(fmt);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "acfd: unknown report format '%s' (expected json, "
+                     "text or html)\n",
+                     fmt.c_str());
+        return 2;
+      }
+      want_report = true;
+      report_format = *parsed;
+    } else if (arg == "--report-out") {
+      report_path = next();
     } else if (arg == "--explain" || arg == "--explain=text") {
       explain = true;
     } else if (arg == "--explain=json") {
@@ -144,6 +175,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!report_path.empty() && !want_report) {
+    // --report-out alone implies --report; pick the format from the
+    // file extension.
+    want_report = true;
+    const auto dot = report_path.rfind('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : report_path.substr(dot + 1);
+    if (ext == "json") report_format = prof::ReportFormat::Json;
+    else if (ext == "html" || ext == "htm")
+      report_format = prof::ReportFormat::Html;
+  }
+  if (want_report) run = true;  // a run report needs a run
+  if (want_report && explain_json && report_path.empty()) {
+    std::fprintf(stderr,
+                 "acfd: --report and --explain=json both write stdout; "
+                 "give the report a file with --report-out\n");
+    return 2;
+  }
+
   // In --explain=json mode stdout carries exactly one JSON document;
   // everything human-readable goes to stderr instead.
   std::FILE* const chat = explain_json ? stderr : stdout;
@@ -171,6 +221,31 @@ int main(int argc, char** argv) {
   buf << in.rdbuf();
   const std::string source = buf.str();
 
+  if (!analyze_only && output_path.empty()) {
+    output_path = input_path;
+    const auto dot = output_path.rfind('.');
+    output_path.insert(dot == std::string::npos ? output_path.size() : dot,
+                       "_par");
+  }
+
+  // Check every output destination now, before minutes of simulated
+  // run time: duplicates and unwritable directories become immediate
+  // diagnostics instead of a failure at the final write.
+  {
+    std::vector<support::OutputPath> outputs;
+    if (!analyze_only) outputs.push_back({"-o", output_path});
+    if (!metrics_path.empty()) {
+      outputs.push_back({"--metrics-out", metrics_path});
+    }
+    if (!report_path.empty()) {
+      outputs.push_back({"--report-out", report_path});
+    }
+    if (const auto problem = support::validate_output_paths(outputs)) {
+      std::fprintf(stderr, "acfd: %s\n", problem->c_str());
+      return 2;
+    }
+  }
+
   try {
     DiagnosticEngine diags;
     auto dirs = core::Directives::extract(source, diags);
@@ -184,7 +259,8 @@ int main(int argc, char** argv) {
     if (nprocs > 0) dirs.nprocs = nprocs;
 
     obs::ObsContext obs;
-    const bool want_obs = explain || profile || !metrics_path.empty();
+    const bool want_obs =
+        explain || profile || !metrics_path.empty() || want_report;
     auto program =
         core::parallelize(source, dirs, strategy, want_obs ? &obs : nullptr);
     const auto& rep = program->report;
@@ -199,14 +275,7 @@ int main(int argc, char** argv) {
         rep.syncs_before, rep.syncs_after, rep.optimization_percent,
         rep.pipelined_loops, rep.mirror_image_loops);
 
-    if (!report_only) {
-      if (output_path.empty()) {
-        output_path = input_path;
-        const auto dot = output_path.rfind('.');
-        output_path.insert(dot == std::string::npos ? output_path.size()
-                                                    : dot,
-                           "_par");
-      }
+    if (!analyze_only) {
       std::ofstream out(output_path);
       out << program->parallel_source;
       out.flush();
@@ -225,10 +294,12 @@ int main(int argc, char** argv) {
       const auto machine = mp::MachineConfig::pentium_ethernet_1999();
       trace::TraceRecorder recorder;
       codegen::SpmdRunOptions run_opts;
-      run_opts.sink = metrics_path.empty() ? nullptr : &recorder;
+      run_opts.sink =
+          metrics_path.empty() && !want_report ? nullptr : &recorder;
       run_opts.faults = faults_spec.empty() ? nullptr : &injector;
       run_opts.watchdog = watchdog;
       run_opts.engine = engine;
+      run_opts.profile = want_report;
       auto par = program->run(machine, run_opts);
       auto seq_file = fortran::parse_source(source);
       const auto seq = codegen::run_sequential_timed(
@@ -270,6 +341,35 @@ int main(int argc, char** argv) {
         if (!faults_spec.empty()) injector.export_metrics(obs.metrics);
         for (const auto& [key, value] : par.engine_stats.items()) {
           obs.metrics.add(std::string("engine.bytecode.") + key, value);
+        }
+      }
+      if (want_report) {
+        prof::ReportOptions ropts;
+        ropts.title =
+            std::filesystem::path(input_path).stem().string();
+        ropts.engine = engine == interp::EngineKind::Bytecode
+                           ? "bytecode"
+                           : "tree";
+        ropts.seq_elapsed_s = seq.elapsed;
+        const auto report = prof::build_run_report(
+            *program, par, recorder.trace(), &obs.provenance, ropts);
+        if (!metrics_path.empty()) {
+          prof::profile_to_metrics(report.profile, obs.metrics);
+        }
+        if (report_path.empty()) {
+          std::ostringstream ros;
+          prof::write_report(report, report_format, ros);
+          std::fprintf(stdout, "%s", ros.str().c_str());
+        } else {
+          std::ofstream ros(report_path);
+          prof::write_report(report, report_format, ros);
+          ros.flush();
+          if (!ros) {
+            std::fprintf(stderr, "acfd: cannot write report file '%s'\n",
+                         report_path.c_str());
+            return 1;
+          }
+          std::fprintf(chat, "acfd: wrote %s\n", report_path.c_str());
         }
       }
       if (max_diff != 0.0) {

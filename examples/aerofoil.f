@@ -1,0 +1,3180 @@
+!$acfd grid 40 20 8
+!$acfd status u uo v vo w wo p po r ro e eo fx1 fx2 fx3 fy1 fy2 fy3 fz1 fz2 fz3 q
+program aerofoil
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+parameter (nt = 2)
+integer it
+call init
+do it = 1, nt
+  call bcond
+  call savold
+  call fxmass
+  call fxmomm
+  call fxener
+  call advx_u
+  call disx_u
+  call visx_u
+  call rhsx_u
+  call advx_v
+  call disx_v
+  call visx_v
+  call rhsx_v
+  call advx_w
+  call disx_w
+  call visx_w
+  call rhsx_w
+  call advx_p
+  call disx_p
+  call visx_p
+  call rhsx_p
+  call advx_r
+  call disx_r
+  call visx_r
+  call rhsx_r
+  call advx_e
+  call disx_e
+  call visx_e
+  call rhsx_e
+  call fymass
+  call fymomm
+  call fyener
+  call advy_u
+  call disy_u
+  call visy_u
+  call rhsy_u
+  call advy_v
+  call disy_v
+  call visy_v
+  call rhsy_v
+  call advy_w
+  call disy_w
+  call visy_w
+  call rhsy_w
+  call advy_p
+  call disy_p
+  call visy_p
+  call rhsy_p
+  call advy_r
+  call disy_r
+  call visy_r
+  call rhsy_r
+  call advy_e
+  call disy_e
+  call visy_e
+  call rhsy_e
+  call fzmass
+  call fzmomm
+  call fzener
+  call advz_u
+  call disz_u
+  call visz_u
+  call rhsz_u
+  call advz_v
+  call disz_v
+  call visz_v
+  call rhsz_v
+  call advz_w
+  call disz_w
+  call visz_w
+  call rhsz_w
+  call advz_p
+  call disz_p
+  call visz_p
+  call rhsz_p
+  call advz_r
+  call disz_r
+  call visz_r
+  call rhsz_r
+  call advz_e
+  call disz_e
+  call visz_e
+  call rhsz_e
+  call corr_p
+  call corr_r
+  call corr_e
+  call blay_u
+  call blay_w
+  call blay_e
+  call smz_u
+  call smz_v
+  call smz_p
+  call smz_r
+  call fltz_u
+  call fltz_v
+  call fltz_w
+  call fltz_p
+  call fltz_r
+  call fltz_e
+  call packq
+  call sweepx
+  call sweepp
+  call sweepr
+  call sweepe
+  call sweepy
+  call resid
+  if (resmax .lt. 1.0e-12) goto 910
+end do
+910 continue
+end
+subroutine init
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k, m
+do k = 1, n3
+  do j = 1, n2
+    do i = 1, n1
+      u(i, j, k) = 0.001 * 1 * (i + 2 * j + 3 * k)
+      uo(i, j, k) = u(i, j, k)
+      v(i, j, k) = 0.001 * 2 * (i + 2 * j + 3 * k)
+      vo(i, j, k) = v(i, j, k)
+      w(i, j, k) = 0.001 * 3 * (i + 2 * j + 3 * k)
+      wo(i, j, k) = w(i, j, k)
+      p(i, j, k) = 0.001 * 4 * (i + 2 * j + 3 * k)
+      po(i, j, k) = p(i, j, k)
+      r(i, j, k) = 0.001 * 5 * (i + 2 * j + 3 * k)
+      ro(i, j, k) = r(i, j, k)
+      e(i, j, k) = 0.001 * 6 * (i + 2 * j + 3 * k)
+      eo(i, j, k) = e(i, j, k)
+      fx1(i, j, k) = 0.0
+      fx2(i, j, k) = 0.0
+      fx3(i, j, k) = 0.0
+      fy1(i, j, k) = 0.0
+      fy2(i, j, k) = 0.0
+      fy3(i, j, k) = 0.0
+      fz1(i, j, k) = 0.0
+      fz2(i, j, k) = 0.0
+      fz3(i, j, k) = 0.0
+      do m = 1, 3
+        q(i, j, k, m) = 0.0
+      end do
+    end do
+  end do
+end do
+return
+end
+subroutine bcond
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+do k = 1, n3
+  do j = 1, n2
+    u(1, j, k) = 1.0
+    u(n1, j, k) = 0.98
+    p(1, j, k) = 1.0
+  end do
+end do
+do k = 1, n3
+  do i = 1, n1
+    v(i, 1, k) = 0.0
+    w(i, 1, k) = 0.0
+    u(i, n2, k) = 1.0
+  end do
+end do
+return
+end
+subroutine savold
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+do k = 1, n3
+  do j = 1, n2
+    do i = 1, n1
+      uo(i, j, k) = u(i, j, k)
+      vo(i, j, k) = v(i, j, k)
+      wo(i, j, k) = w(i, j, k)
+      po(i, j, k) = p(i, j, k)
+      ro(i, j, k) = r(i, j, k)
+      eo(i, j, k) = e(i, j, k)
+    end do
+  end do
+end do
+return
+end
+subroutine fxmass
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i + 1, j, k) - ro(i - 1, j, k))
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      fx1(i, j, k) = fx1(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fxmomm
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (po(i + 1, j, k) - po(i - 1, j, k))
+      fx2(i, j, k) = fx2(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fxener
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i + 1, j, k) - eo(i - 1, j, k))
+      acc = acc + 0.5 * (po(i + 1, j, k) - po(i - 1, j, k))
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      fx3(i, j, k) = fx3(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advx_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (fx1(i + 1, j, k) - fx1(i - 1, j, k))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disx_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (fx2(i + 1, j, k) - fx2(i - 1, j, k))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visx_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (eo(i + 1, j, k) - eo(i - 1, j, k))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsx_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (po(i + 1, j, k) - po(i - 1, j, k))
+      acc = acc + 0.5 * (fx3(i + 1, j, k) - fx3(i - 1, j, k))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advx_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i + 1, j, k) - vo(i - 1, j, k))
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (fx1(i + 1, j, k) - fx1(i - 1, j, k))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disx_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i + 1, j, k) - vo(i - 1, j, k))
+      acc = acc + 0.5 * (fx2(i + 1, j, k) - fx2(i - 1, j, k))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visx_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i + 1, j, k) - vo(i - 1, j, k))
+      acc = acc + 0.5 * (eo(i + 1, j, k) - eo(i - 1, j, k))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsx_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i + 1, j, k) - vo(i - 1, j, k))
+      acc = acc + 0.5 * (po(i + 1, j, k) - po(i - 1, j, k))
+      acc = acc + 0.5 * (fx3(i + 1, j, k) - fx3(i - 1, j, k))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advx_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i + 1, j, k) - wo(i - 1, j, k))
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (fx1(i + 1, j, k) - fx1(i - 1, j, k))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disx_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i + 1, j, k) - wo(i - 1, j, k))
+      acc = acc + 0.5 * (fx2(i + 1, j, k) - fx2(i - 1, j, k))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visx_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i + 1, j, k) - wo(i - 1, j, k))
+      acc = acc + 0.5 * (eo(i + 1, j, k) - eo(i - 1, j, k))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsx_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i + 1, j, k) - wo(i - 1, j, k))
+      acc = acc + 0.5 * (po(i + 1, j, k) - po(i - 1, j, k))
+      acc = acc + 0.5 * (fx3(i + 1, j, k) - fx3(i - 1, j, k))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advx_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i + 1, j, k) - po(i - 1, j, k))
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (fx1(i + 1, j, k) - fx1(i - 1, j, k))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disx_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i + 1, j, k) - po(i - 1, j, k))
+      acc = acc + 0.5 * (fx2(i + 1, j, k) - fx2(i - 1, j, k))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visx_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i + 1, j, k) - po(i - 1, j, k))
+      acc = acc + 0.5 * (eo(i + 1, j, k) - eo(i - 1, j, k))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsx_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i + 1, j, k) - po(i - 1, j, k))
+      acc = acc + 0.5 * (po(i + 1, j, k) - po(i - 1, j, k))
+      acc = acc + 0.5 * (fx3(i + 1, j, k) - fx3(i - 1, j, k))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advx_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i + 1, j, k) - ro(i - 1, j, k))
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (fx1(i + 1, j, k) - fx1(i - 1, j, k))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disx_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i + 1, j, k) - ro(i - 1, j, k))
+      acc = acc + 0.5 * (fx2(i + 1, j, k) - fx2(i - 1, j, k))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visx_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i + 1, j, k) - ro(i - 1, j, k))
+      acc = acc + 0.5 * (eo(i + 1, j, k) - eo(i - 1, j, k))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsx_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i + 1, j, k) - ro(i - 1, j, k))
+      acc = acc + 0.5 * (po(i + 1, j, k) - po(i - 1, j, k))
+      acc = acc + 0.5 * (fx3(i + 1, j, k) - fx3(i - 1, j, k))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advx_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i + 1, j, k) - eo(i - 1, j, k))
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (fx1(i + 1, j, k) - fx1(i - 1, j, k))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disx_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i + 1, j, k) - eo(i - 1, j, k))
+      acc = acc + 0.5 * (fx2(i + 1, j, k) - fx2(i - 1, j, k))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visx_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i + 1, j, k) - eo(i - 1, j, k))
+      acc = acc + 0.5 * (eo(i + 1, j, k) - eo(i - 1, j, k))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsx_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i + 1, j, k) - eo(i - 1, j, k))
+      acc = acc + 0.5 * (po(i + 1, j, k) - po(i - 1, j, k))
+      acc = acc + 0.5 * (fx3(i + 1, j, k) - fx3(i - 1, j, k))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fymass
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (r(i, j + 1, k) - r(i, j - 1, k))
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      fy1(i, j, k) = fy1(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fymomm
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      acc = acc + 0.5 * (p(i, j + 1, k) - p(i, j - 1, k))
+      fy2(i, j, k) = fy2(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fyener
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (e(i, j + 1, k) - e(i, j - 1, k))
+      acc = acc + 0.5 * (p(i, j + 1, k) - p(i, j - 1, k))
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      fy3(i, j, k) = fy3(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advy_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i, j + 1, k) - uo(i, j - 1, k))
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      acc = acc + 0.5 * (fy1(i, j + 1, k) - fy1(i, j - 1, k))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disy_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i, j + 1, k) - uo(i, j - 1, k))
+      acc = acc + 0.5 * (fy2(i, j + 1, k) - fy2(i, j - 1, k))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visy_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i, j + 1, k) - uo(i, j - 1, k))
+      acc = acc + 0.5 * (eo(i, j + 1, k) - eo(i, j - 1, k))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsy_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i, j + 1, k) - uo(i, j - 1, k))
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      acc = acc + 0.5 * (fy3(i, j + 1, k) - fy3(i, j - 1, k))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advy_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      acc = acc + 0.5 * (fy1(i, j + 1, k) - fy1(i, j - 1, k))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disy_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      acc = acc + 0.5 * (fy2(i, j + 1, k) - fy2(i, j - 1, k))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visy_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      acc = acc + 0.5 * (eo(i, j + 1, k) - eo(i, j - 1, k))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsy_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      acc = acc + 0.5 * (fy3(i, j + 1, k) - fy3(i, j - 1, k))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advy_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i, j + 1, k) - wo(i, j - 1, k))
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      acc = acc + 0.5 * (fy1(i, j + 1, k) - fy1(i, j - 1, k))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disy_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i, j + 1, k) - wo(i, j - 1, k))
+      acc = acc + 0.5 * (fy2(i, j + 1, k) - fy2(i, j - 1, k))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visy_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i, j + 1, k) - wo(i, j - 1, k))
+      acc = acc + 0.5 * (eo(i, j + 1, k) - eo(i, j - 1, k))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsy_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i, j + 1, k) - wo(i, j - 1, k))
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      acc = acc + 0.5 * (fy3(i, j + 1, k) - fy3(i, j - 1, k))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advy_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      acc = acc + 0.5 * (fy1(i, j + 1, k) - fy1(i, j - 1, k))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disy_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      acc = acc + 0.5 * (fy2(i, j + 1, k) - fy2(i, j - 1, k))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visy_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      acc = acc + 0.5 * (eo(i, j + 1, k) - eo(i, j - 1, k))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsy_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      acc = acc + 0.5 * (fy3(i, j + 1, k) - fy3(i, j - 1, k))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advy_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i, j + 1, k) - ro(i, j - 1, k))
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      acc = acc + 0.5 * (fy1(i, j + 1, k) - fy1(i, j - 1, k))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disy_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i, j + 1, k) - ro(i, j - 1, k))
+      acc = acc + 0.5 * (fy2(i, j + 1, k) - fy2(i, j - 1, k))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visy_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i, j + 1, k) - ro(i, j - 1, k))
+      acc = acc + 0.5 * (eo(i, j + 1, k) - eo(i, j - 1, k))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsy_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i, j + 1, k) - ro(i, j - 1, k))
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      acc = acc + 0.5 * (fy3(i, j + 1, k) - fy3(i, j - 1, k))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advy_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i, j + 1, k) - eo(i, j - 1, k))
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      acc = acc + 0.5 * (fy1(i, j + 1, k) - fy1(i, j - 1, k))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disy_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i, j + 1, k) - eo(i, j - 1, k))
+      acc = acc + 0.5 * (fy2(i, j + 1, k) - fy2(i, j - 1, k))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visy_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i, j + 1, k) - eo(i, j - 1, k))
+      acc = acc + 0.5 * (eo(i, j + 1, k) - eo(i, j - 1, k))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsy_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i, j + 1, k) - eo(i, j - 1, k))
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      acc = acc + 0.5 * (fy3(i, j + 1, k) - fy3(i, j - 1, k))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fzmass
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (r(i, j, k + 1) - r(i, j, k - 1))
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      fz1(i, j, k) = fz1(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fzmomm
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      acc = acc + 0.5 * (p(i, j, k + 1) - p(i, j, k - 1))
+      fz2(i, j, k) = fz2(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fzener
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (e(i, j, k + 1) - e(i, j, k - 1))
+      acc = acc + 0.5 * (p(i, j, k + 1) - p(i, j, k - 1))
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      fz3(i, j, k) = fz3(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advz_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i, j, k + 1) - uo(i, j, k - 1))
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      acc = acc + 0.5 * (fz1(i, j, k + 1) - fz1(i, j, k - 1))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disz_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i, j, k + 1) - uo(i, j, k - 1))
+      acc = acc + 0.5 * (fz2(i, j, k + 1) - fz2(i, j, k - 1))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visz_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i, j, k + 1) - uo(i, j, k - 1))
+      acc = acc + 0.5 * (eo(i, j, k + 1) - eo(i, j, k - 1))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsz_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i, j, k + 1) - uo(i, j, k - 1))
+      acc = acc + 0.5 * (po(i, j, k + 1) - po(i, j, k - 1))
+      acc = acc + 0.5 * (fz3(i, j, k + 1) - fz3(i, j, k - 1))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advz_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i, j, k + 1) - vo(i, j, k - 1))
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      acc = acc + 0.5 * (fz1(i, j, k + 1) - fz1(i, j, k - 1))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disz_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i, j, k + 1) - vo(i, j, k - 1))
+      acc = acc + 0.5 * (fz2(i, j, k + 1) - fz2(i, j, k - 1))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visz_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i, j, k + 1) - vo(i, j, k - 1))
+      acc = acc + 0.5 * (eo(i, j, k + 1) - eo(i, j, k - 1))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsz_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i, j, k + 1) - vo(i, j, k - 1))
+      acc = acc + 0.5 * (po(i, j, k + 1) - po(i, j, k - 1))
+      acc = acc + 0.5 * (fz3(i, j, k + 1) - fz3(i, j, k - 1))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advz_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      acc = acc + 0.5 * (fz1(i, j, k + 1) - fz1(i, j, k - 1))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disz_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      acc = acc + 0.5 * (fz2(i, j, k + 1) - fz2(i, j, k - 1))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visz_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      acc = acc + 0.5 * (eo(i, j, k + 1) - eo(i, j, k - 1))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsz_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      acc = acc + 0.5 * (po(i, j, k + 1) - po(i, j, k - 1))
+      acc = acc + 0.5 * (fz3(i, j, k + 1) - fz3(i, j, k - 1))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advz_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i, j, k + 1) - po(i, j, k - 1))
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      acc = acc + 0.5 * (fz1(i, j, k + 1) - fz1(i, j, k - 1))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disz_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i, j, k + 1) - po(i, j, k - 1))
+      acc = acc + 0.5 * (fz2(i, j, k + 1) - fz2(i, j, k - 1))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visz_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i, j, k + 1) - po(i, j, k - 1))
+      acc = acc + 0.5 * (eo(i, j, k + 1) - eo(i, j, k - 1))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsz_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i, j, k + 1) - po(i, j, k - 1))
+      acc = acc + 0.5 * (po(i, j, k + 1) - po(i, j, k - 1))
+      acc = acc + 0.5 * (fz3(i, j, k + 1) - fz3(i, j, k - 1))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advz_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i, j, k + 1) - ro(i, j, k - 1))
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      acc = acc + 0.5 * (fz1(i, j, k + 1) - fz1(i, j, k - 1))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disz_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i, j, k + 1) - ro(i, j, k - 1))
+      acc = acc + 0.5 * (fz2(i, j, k + 1) - fz2(i, j, k - 1))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visz_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i, j, k + 1) - ro(i, j, k - 1))
+      acc = acc + 0.5 * (eo(i, j, k + 1) - eo(i, j, k - 1))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsz_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i, j, k + 1) - ro(i, j, k - 1))
+      acc = acc + 0.5 * (po(i, j, k + 1) - po(i, j, k - 1))
+      acc = acc + 0.5 * (fz3(i, j, k + 1) - fz3(i, j, k - 1))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine advz_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i, j, k + 1) - eo(i, j, k - 1))
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      acc = acc + 0.5 * (fz1(i, j, k + 1) - fz1(i, j, k - 1))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine disz_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i, j, k + 1) - eo(i, j, k - 1))
+      acc = acc + 0.5 * (fz2(i, j, k + 1) - fz2(i, j, k - 1))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine visz_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i, j, k + 1) - eo(i, j, k - 1))
+      acc = acc + 0.5 * (eo(i, j, k + 1) - eo(i, j, k - 1))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine rhsz_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i, j, k + 1) - eo(i, j, k - 1))
+      acc = acc + 0.5 * (po(i, j, k + 1) - po(i, j, k - 1))
+      acc = acc + 0.5 * (fz3(i, j, k + 1) - fz3(i, j, k - 1))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine corr_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i + 1, j, k) - po(i - 1, j, k))
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (uo(i, j + 1, k) - uo(i, j - 1, k))
+      acc = acc + 0.5 * (vo(i + 1, j, k) - vo(i - 1, j, k))
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine corr_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i + 1, j, k) - ro(i - 1, j, k))
+      acc = acc + 0.5 * (ro(i, j + 1, k) - ro(i, j - 1, k))
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (uo(i, j + 1, k) - uo(i, j - 1, k))
+      acc = acc + 0.5 * (vo(i + 1, j, k) - vo(i - 1, j, k))
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine corr_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 2, n1 - 1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i + 1, j, k) - eo(i - 1, j, k))
+      acc = acc + 0.5 * (eo(i, j + 1, k) - eo(i, j - 1, k))
+      acc = acc + 0.5 * (uo(i + 1, j, k) - uo(i - 1, j, k))
+      acc = acc + 0.5 * (uo(i, j + 1, k) - uo(i, j - 1, k))
+      acc = acc + 0.5 * (vo(i + 1, j, k) - vo(i - 1, j, k))
+      acc = acc + 0.5 * (vo(i, j + 1, k) - vo(i, j - 1, k))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine blay_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i, j + 1, k) - uo(i, j - 1, k))
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine blay_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i, j + 1, k) - wo(i, j - 1, k))
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine blay_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 1, n3
+  do j = 2, n2 - 1
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i, j + 1, k) - eo(i, j - 1, k))
+      acc = acc + 0.5 * (po(i, j + 1, k) - po(i, j - 1, k))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine smz_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i, j, k + 1) - uo(i, j, k - 1))
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine smz_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i, j, k + 1) - vo(i, j, k - 1))
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine smz_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i, j, k + 1) - po(i, j, k - 1))
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine smz_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i, j, k + 1) - ro(i, j, k - 1))
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fltz_u
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (uo(i, j, k + 1) - uo(i, j, k - 1))
+      acc = acc + 0.5 * (ro(i, j, k + 1) - ro(i, j, k - 1))
+      u(i, j, k) = u(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fltz_v
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (vo(i, j, k + 1) - vo(i, j, k - 1))
+      acc = acc + 0.5 * (ro(i, j, k + 1) - ro(i, j, k - 1))
+      v(i, j, k) = v(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fltz_w
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (wo(i, j, k + 1) - wo(i, j, k - 1))
+      acc = acc + 0.5 * (ro(i, j, k + 1) - ro(i, j, k - 1))
+      w(i, j, k) = w(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fltz_p
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (po(i, j, k + 1) - po(i, j, k - 1))
+      acc = acc + 0.5 * (ro(i, j, k + 1) - ro(i, j, k - 1))
+      p(i, j, k) = p(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fltz_r
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (ro(i, j, k + 1) - ro(i, j, k - 1))
+      acc = acc + 0.5 * (ro(i, j, k + 1) - ro(i, j, k - 1))
+      r(i, j, k) = r(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine fltz_e
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+real acc
+do k = 2, n3 - 1
+  do j = 1, n2
+    do i = 1, n1
+      acc = 0.0
+      acc = acc + 0.5 * (eo(i, j, k + 1) - eo(i, j, k - 1))
+      acc = acc + 0.5 * (ro(i, j, k + 1) - ro(i, j, k - 1))
+      e(i, j, k) = e(i, j, k) * 0.98 + 0.01 * acc
+    end do
+  end do
+end do
+return
+end
+subroutine packq
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      q(i, j, k, 1) = 0.5 * (fx1(i - 1, j, k) + fx1(i + 1, j, k))
+      q(i, j, k, 2) = 0.5 * (fx2(i - 1, j, k) + fx2(i + 1, j, k))
+      q(i, j, k, 3) = 0.5 * (fx3(i - 1, j, k) + fx3(i + 1, j, k))
+    end do
+  end do
+end do
+return
+end
+subroutine sweepx
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      u(i, j, k) = 0.96 * u(i, j, k) + 0.02 * (u(i - 1, j, k) &
+                 + u(i + 1, j, k)) + 0.005 * q(i, j, k, 2)
+    end do
+  end do
+end do
+return
+end
+subroutine sweepp
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      p(i, j, k) = 0.96 * p(i, j, k) + 0.02 * (p(i - 1, j, k) &
+                 + p(i + 1, j, k)) + 0.005 * q(i, j, k, 1)
+    end do
+  end do
+end do
+return
+end
+subroutine sweepr
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      r(i, j, k) = 0.96 * r(i, j, k) + 0.02 * (r(i - 1, j, k) &
+                 + r(i + 1, j, k)) + 0.005 * q(i, j, k, 1)
+    end do
+  end do
+end do
+return
+end
+subroutine sweepe
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+do k = 1, n3
+  do j = 1, n2
+    do i = 2, n1 - 1
+      e(i, j, k) = 0.96 * e(i, j, k) + 0.02 * (e(i - 1, j, k) &
+                 + e(i + 1, j, k)) + 0.005 * q(i, j, k, 3)
+    end do
+  end do
+end do
+return
+end
+subroutine sweepy
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+do k = 1, n3
+  do i = 1, n1
+    do j = 2, n2 - 1
+      v(i, j, k) = 0.96 * v(i, j, k) + 0.02 * (vo(i, j - 1, k) &
+                 + vo(i, j + 1, k)) + 0.005 * q(i, j, k, 3)
+    end do
+  end do
+end do
+return
+end
+subroutine resid
+parameter (n1 = 40, n2 = 20, n3 = 8)
+real u(n1, n2, n3), uo(n1, n2, n3)
+real v(n1, n2, n3), vo(n1, n2, n3)
+real w(n1, n2, n3), wo(n1, n2, n3)
+real p(n1, n2, n3), po(n1, n2, n3)
+real r(n1, n2, n3), ro(n1, n2, n3)
+real e(n1, n2, n3), eo(n1, n2, n3)
+real fx1(n1, n2, n3), fx2(n1, n2, n3), fx3(n1, n2, n3)
+real fy1(n1, n2, n3), fy2(n1, n2, n3), fy3(n1, n2, n3)
+real fz1(n1, n2, n3), fz2(n1, n2, n3), fz3(n1, n2, n3)
+real q(n1, n2, n3, 3)
+real resmax
+common /flow/ u, uo, v, vo, w, wo, p, po, r, ro, e, eo, fx1, fx2, fx3, fy1, fy2, fy3, fz1, fz2, fz3, q, resmax
+integer i, j, k
+resmax = 0.0
+do k = 1, n3
+  do j = 1, n2
+    do i = 1, n1
+      resmax = max(resmax, abs(u(i, j, k) - uo(i, j, k)))
+    end do
+  end do
+end do
+return
+end

@@ -1,0 +1,2323 @@
+!$acfd grid 64 32
+!$acfd status u v uo vo psi psin omg omgn p po prs src c1 c1o c1t c2 c2o c2t c3 c3o c3t c4 c4o c4t c5 c5o c5t c6 c6o c6t tke tkeo tket eps epso epst ht hto htt hm hmo hmt
+program sprayer
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+parameter (nt = 2)
+integer it
+call init
+do it = 1, nt
+  call fansrc
+  call saveold
+  call xmom
+  call ymom
+  call xprdc1
+  call xprdc2
+  call xprdc3
+  call xprdc4
+  call xprdc5
+  call xprdc6
+  call xprdtke
+  call xprdeps
+  call xprdht
+  call xprdhm
+  call xcorc1
+  call xcorc2
+  call xcorc3
+  call xcorc4
+  call xcorc5
+  call xcorc6
+  call xcortke
+  call xcoreps
+  call xcorht
+  call xcorhm
+  call yprdc1
+  call yprdc2
+  call yprdc3
+  call yprdc4
+  call yprdc5
+  call yprdc6
+  call yprdtke
+  call yprdeps
+  call yprdht
+  call yprdhm
+  call ycorc1
+  call ycorc2
+  call ycorc3
+  call ycorc4
+  call ycorc5
+  call ycorc6
+  call ycortke
+  call ycoreps
+  call ycorht
+  call ycorhm
+  call prhsx
+  call prhsy
+  call pcorx
+  call pcory
+  call psix
+  call psicpx
+  call psiy
+  call psicpy
+  call vortx
+  call vorcpx
+  call vorty
+  call vorcpy
+  call veloc
+  call resid
+  if (resmax .lt. 1.0e-12) goto 900
+end do
+900 continue
+end
+subroutine init
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 1, nx
+    u(i, j) = 0.02 * j
+    v(i, j) = 0.0
+    uo(i, j) = u(i, j)
+    vo(i, j) = 0.0
+    psi(i, j) = 0.01 * i * j
+    psin(i, j) = 0.0
+    omg(i, j) = 0.001 * (i - j)
+    omgn(i, j) = 0.0
+    p(i, j) = 1.0
+    po(i, j) = 1.0
+    prs(i, j) = 0.0
+    src(i, j) = 0.0
+    c1(i, j) = 0.001 * 1 * (i + j)
+    c1o(i, j) = c1(i, j)
+    c1t(i, j) = 0.0
+    c2(i, j) = 0.001 * 2 * (i + j)
+    c2o(i, j) = c2(i, j)
+    c2t(i, j) = 0.0
+    c3(i, j) = 0.001 * 3 * (i + j)
+    c3o(i, j) = c3(i, j)
+    c3t(i, j) = 0.0
+    c4(i, j) = 0.001 * 4 * (i + j)
+    c4o(i, j) = c4(i, j)
+    c4t(i, j) = 0.0
+    c5(i, j) = 0.001 * 5 * (i + j)
+    c5o(i, j) = c5(i, j)
+    c5t(i, j) = 0.0
+    c6(i, j) = 0.001 * 6 * (i + j)
+    c6o(i, j) = c6(i, j)
+    c6t(i, j) = 0.0
+    tke(i, j) = 0.001 * 7 * (i + j)
+    tkeo(i, j) = tke(i, j)
+    tket(i, j) = 0.0
+    eps(i, j) = 0.001 * 8 * (i + j)
+    epso(i, j) = eps(i, j)
+    epst(i, j) = 0.0
+    ht(i, j) = 0.001 * 9 * (i + j)
+    hto(i, j) = ht(i, j)
+    htt(i, j) = 0.0
+    hm(i, j) = 0.001 * 10 * (i + j)
+    hmo(i, j) = hm(i, j)
+    hmt(i, j) = 0.0
+  end do
+end do
+return
+end
+subroutine fansrc
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  src(1, j) = 1.0 + 0.05 * j
+  u(1, j) = 0.8
+  u(nx, j) = 0.1
+end do
+do i = 1, nx
+  v(i, 1) = 0.0
+  v(i, ny) = 0.0
+end do
+return
+end
+subroutine saveold
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 1, nx
+    uo(i, j) = u(i, j)
+    vo(i, j) = v(i, j)
+    po(i, j) = p(i, j)
+  end do
+end do
+return
+end
+subroutine xmom
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    u(i, j) = 0.96 * uo(i, j) &
+        + 0.001 * (uo(i + 1, j) - uo(i - 1, j)) &
+        + 0.002 * (src(i + 1, j) - src(i - 1, j)) &
+        + 0.003 * (po(i + 1, j) - po(i - 1, j))
+  end do
+end do
+return
+end
+subroutine ymom
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    v(i, j) = 0.96 * vo(i, j) &
+        + 0.001 * (vo(i, j + 1) - vo(i, j - 1)) &
+        + 0.002 * (src(i, j + 1) - src(i, j - 1)) &
+        + 0.003 * (po(i, j + 1) - po(i, j - 1))
+  end do
+end do
+return
+end
+subroutine xprdc1
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    c1t(i, j) = 0.96 * c1o(i, j) &
+        + 0.001 * (c1o(i + 1, j) - c1o(i - 1, j)) &
+        + 0.002 * (uo(i + 1, j) - uo(i - 1, j))
+  end do
+end do
+return
+end
+subroutine xcorc1
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    c1(i, j) = 0.96 * c1t(i, j) &
+        + 0.001 * (c1t(i + 1, j) - c1t(i - 1, j)) &
+        + 0.002 * (c1o(i + 1, j) - c1o(i - 1, j))
+  end do
+end do
+return
+end
+subroutine yprdc1
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    c1t(i, j) = 0.96 * c1(i, j) &
+        + 0.001 * (c1(i, j + 1) - c1(i, j - 1)) &
+        + 0.002 * (vo(i, j + 1) - vo(i, j - 1)) &
+        + 0.003 * (src(i, j + 1) - src(i, j - 1))
+  end do
+end do
+return
+end
+subroutine ycorc1
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    c1o(i, j) = 0.96 * c1t(i, j) &
+        + 0.001 * (c1t(i, j + 1) - c1t(i, j - 1)) &
+        + 0.002 * (c1(i, j + 1) - c1(i, j - 1))
+  end do
+end do
+return
+end
+subroutine xprdc2
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    c2t(i, j) = 0.96 * c2o(i, j) &
+        + 0.001 * (c2o(i + 1, j) - c2o(i - 1, j)) &
+        + 0.002 * (uo(i + 1, j) - uo(i - 1, j))
+  end do
+end do
+return
+end
+subroutine xcorc2
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    c2(i, j) = 0.96 * c2t(i, j) &
+        + 0.001 * (c2t(i + 1, j) - c2t(i - 1, j)) &
+        + 0.002 * (c2o(i + 1, j) - c2o(i - 1, j))
+  end do
+end do
+return
+end
+subroutine yprdc2
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    c2t(i, j) = 0.96 * c2(i, j) &
+        + 0.001 * (c2(i, j + 1) - c2(i, j - 1)) &
+        + 0.002 * (vo(i, j + 1) - vo(i, j - 1)) &
+        + 0.003 * (src(i, j + 1) - src(i, j - 1))
+  end do
+end do
+return
+end
+subroutine ycorc2
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    c2o(i, j) = 0.96 * c2t(i, j) &
+        + 0.001 * (c2t(i, j + 1) - c2t(i, j - 1)) &
+        + 0.002 * (c2(i, j + 1) - c2(i, j - 1))
+  end do
+end do
+return
+end
+subroutine xprdc3
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    c3t(i, j) = 0.96 * c3o(i, j) &
+        + 0.001 * (c3o(i + 1, j) - c3o(i - 1, j)) &
+        + 0.002 * (uo(i + 1, j) - uo(i - 1, j))
+  end do
+end do
+return
+end
+subroutine xcorc3
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    c3(i, j) = 0.96 * c3t(i, j) &
+        + 0.001 * (c3t(i + 1, j) - c3t(i - 1, j)) &
+        + 0.002 * (c3o(i + 1, j) - c3o(i - 1, j))
+  end do
+end do
+return
+end
+subroutine yprdc3
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    c3t(i, j) = 0.96 * c3(i, j) &
+        + 0.001 * (c3(i, j + 1) - c3(i, j - 1)) &
+        + 0.002 * (vo(i, j + 1) - vo(i, j - 1)) &
+        + 0.003 * (src(i, j + 1) - src(i, j - 1))
+  end do
+end do
+return
+end
+subroutine ycorc3
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    c3o(i, j) = 0.96 * c3t(i, j) &
+        + 0.001 * (c3t(i, j + 1) - c3t(i, j - 1)) &
+        + 0.002 * (c3(i, j + 1) - c3(i, j - 1))
+  end do
+end do
+return
+end
+subroutine xprdc4
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    c4t(i, j) = 0.96 * c4o(i, j) &
+        + 0.001 * (c4o(i + 1, j) - c4o(i - 1, j)) &
+        + 0.002 * (uo(i + 1, j) - uo(i - 1, j))
+  end do
+end do
+return
+end
+subroutine xcorc4
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    c4(i, j) = 0.96 * c4t(i, j) &
+        + 0.001 * (c4t(i + 1, j) - c4t(i - 1, j)) &
+        + 0.002 * (c4o(i + 1, j) - c4o(i - 1, j))
+  end do
+end do
+return
+end
+subroutine yprdc4
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    c4t(i, j) = 0.96 * c4(i, j) &
+        + 0.001 * (c4(i, j + 1) - c4(i, j - 1)) &
+        + 0.002 * (vo(i, j + 1) - vo(i, j - 1)) &
+        + 0.003 * (src(i, j + 1) - src(i, j - 1))
+  end do
+end do
+return
+end
+subroutine ycorc4
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    c4o(i, j) = 0.96 * c4t(i, j) &
+        + 0.001 * (c4t(i, j + 1) - c4t(i, j - 1)) &
+        + 0.002 * (c4(i, j + 1) - c4(i, j - 1))
+  end do
+end do
+return
+end
+subroutine xprdc5
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    c5t(i, j) = 0.96 * c5o(i, j) &
+        + 0.001 * (c5o(i + 1, j) - c5o(i - 1, j)) &
+        + 0.002 * (uo(i + 1, j) - uo(i - 1, j))
+  end do
+end do
+return
+end
+subroutine xcorc5
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    c5(i, j) = 0.96 * c5t(i, j) &
+        + 0.001 * (c5t(i + 1, j) - c5t(i - 1, j)) &
+        + 0.002 * (c5o(i + 1, j) - c5o(i - 1, j))
+  end do
+end do
+return
+end
+subroutine yprdc5
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    c5t(i, j) = 0.96 * c5(i, j) &
+        + 0.001 * (c5(i, j + 1) - c5(i, j - 1)) &
+        + 0.002 * (vo(i, j + 1) - vo(i, j - 1)) &
+        + 0.003 * (src(i, j + 1) - src(i, j - 1))
+  end do
+end do
+return
+end
+subroutine ycorc5
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    c5o(i, j) = 0.96 * c5t(i, j) &
+        + 0.001 * (c5t(i, j + 1) - c5t(i, j - 1)) &
+        + 0.002 * (c5(i, j + 1) - c5(i, j - 1))
+  end do
+end do
+return
+end
+subroutine xprdc6
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    c6t(i, j) = 0.96 * c6o(i, j) &
+        + 0.001 * (c6o(i + 1, j) - c6o(i - 1, j)) &
+        + 0.002 * (uo(i + 1, j) - uo(i - 1, j))
+  end do
+end do
+return
+end
+subroutine xcorc6
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    c6(i, j) = 0.96 * c6t(i, j) &
+        + 0.001 * (c6t(i + 1, j) - c6t(i - 1, j)) &
+        + 0.002 * (c6o(i + 1, j) - c6o(i - 1, j))
+  end do
+end do
+return
+end
+subroutine yprdc6
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    c6t(i, j) = 0.96 * c6(i, j) &
+        + 0.001 * (c6(i, j + 1) - c6(i, j - 1)) &
+        + 0.002 * (vo(i, j + 1) - vo(i, j - 1)) &
+        + 0.003 * (src(i, j + 1) - src(i, j - 1))
+  end do
+end do
+return
+end
+subroutine ycorc6
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    c6o(i, j) = 0.96 * c6t(i, j) &
+        + 0.001 * (c6t(i, j + 1) - c6t(i, j - 1)) &
+        + 0.002 * (c6(i, j + 1) - c6(i, j - 1))
+  end do
+end do
+return
+end
+subroutine xprdtke
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    tket(i, j) = 0.96 * tkeo(i, j) &
+        + 0.001 * (tkeo(i + 1, j) - tkeo(i - 1, j)) &
+        + 0.002 * (uo(i + 1, j) - uo(i - 1, j))
+  end do
+end do
+return
+end
+subroutine xcortke
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    tke(i, j) = 0.96 * tket(i, j) &
+        + 0.001 * (tket(i + 1, j) - tket(i - 1, j)) &
+        + 0.002 * (tkeo(i + 1, j) - tkeo(i - 1, j))
+  end do
+end do
+return
+end
+subroutine yprdtke
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    tket(i, j) = 0.96 * tke(i, j) &
+        + 0.001 * (tke(i, j + 1) - tke(i, j - 1)) &
+        + 0.002 * (vo(i, j + 1) - vo(i, j - 1)) &
+        + 0.003 * (src(i, j + 1) - src(i, j - 1))
+  end do
+end do
+return
+end
+subroutine ycortke
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    tkeo(i, j) = 0.96 * tket(i, j) &
+        + 0.001 * (tket(i, j + 1) - tket(i, j - 1)) &
+        + 0.002 * (tke(i, j + 1) - tke(i, j - 1))
+  end do
+end do
+return
+end
+subroutine xprdeps
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    epst(i, j) = 0.96 * epso(i, j) &
+        + 0.001 * (epso(i + 1, j) - epso(i - 1, j)) &
+        + 0.002 * (uo(i + 1, j) - uo(i - 1, j))
+  end do
+end do
+return
+end
+subroutine xcoreps
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    eps(i, j) = 0.96 * epst(i, j) &
+        + 0.001 * (epst(i + 1, j) - epst(i - 1, j)) &
+        + 0.002 * (epso(i + 1, j) - epso(i - 1, j))
+  end do
+end do
+return
+end
+subroutine yprdeps
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    epst(i, j) = 0.96 * eps(i, j) &
+        + 0.001 * (eps(i, j + 1) - eps(i, j - 1)) &
+        + 0.002 * (vo(i, j + 1) - vo(i, j - 1)) &
+        + 0.003 * (src(i, j + 1) - src(i, j - 1))
+  end do
+end do
+return
+end
+subroutine ycoreps
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    epso(i, j) = 0.96 * epst(i, j) &
+        + 0.001 * (epst(i, j + 1) - epst(i, j - 1)) &
+        + 0.002 * (eps(i, j + 1) - eps(i, j - 1))
+  end do
+end do
+return
+end
+subroutine xprdht
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    htt(i, j) = 0.96 * hto(i, j) &
+        + 0.001 * (hto(i + 1, j) - hto(i - 1, j)) &
+        + 0.002 * (uo(i + 1, j) - uo(i - 1, j))
+  end do
+end do
+return
+end
+subroutine xcorht
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    ht(i, j) = 0.96 * htt(i, j) &
+        + 0.001 * (htt(i + 1, j) - htt(i - 1, j)) &
+        + 0.002 * (hto(i + 1, j) - hto(i - 1, j))
+  end do
+end do
+return
+end
+subroutine yprdht
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    htt(i, j) = 0.96 * ht(i, j) &
+        + 0.001 * (ht(i, j + 1) - ht(i, j - 1)) &
+        + 0.002 * (vo(i, j + 1) - vo(i, j - 1)) &
+        + 0.003 * (src(i, j + 1) - src(i, j - 1))
+  end do
+end do
+return
+end
+subroutine ycorht
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    hto(i, j) = 0.96 * htt(i, j) &
+        + 0.001 * (htt(i, j + 1) - htt(i, j - 1)) &
+        + 0.002 * (ht(i, j + 1) - ht(i, j - 1))
+  end do
+end do
+return
+end
+subroutine xprdhm
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    hmt(i, j) = 0.96 * hmo(i, j) &
+        + 0.001 * (hmo(i + 1, j) - hmo(i - 1, j)) &
+        + 0.002 * (uo(i + 1, j) - uo(i - 1, j))
+  end do
+end do
+return
+end
+subroutine xcorhm
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    hm(i, j) = 0.96 * hmt(i, j) &
+        + 0.001 * (hmt(i + 1, j) - hmt(i - 1, j)) &
+        + 0.002 * (hmo(i + 1, j) - hmo(i - 1, j))
+  end do
+end do
+return
+end
+subroutine yprdhm
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    hmt(i, j) = 0.96 * hm(i, j) &
+        + 0.001 * (hm(i, j + 1) - hm(i, j - 1)) &
+        + 0.002 * (vo(i, j + 1) - vo(i, j - 1)) &
+        + 0.003 * (src(i, j + 1) - src(i, j - 1))
+  end do
+end do
+return
+end
+subroutine ycorhm
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    hmo(i, j) = 0.96 * hmt(i, j) &
+        + 0.001 * (hmt(i, j + 1) - hmt(i, j - 1)) &
+        + 0.002 * (hm(i, j + 1) - hm(i, j - 1))
+  end do
+end do
+return
+end
+subroutine prhsx
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    prs(i, j) = 0.96 * po(i, j) &
+        + 0.001 * (u(i + 1, j) - u(i - 1, j))
+  end do
+end do
+return
+end
+subroutine prhsy
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    prs(i, j) = 0.96 * prs(i, j) &
+        + 0.001 * (v(i, j + 1) - v(i, j - 1))
+  end do
+end do
+return
+end
+subroutine pcorx
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    p(i, j) = 0.96 * po(i, j) &
+        + 0.001 * (po(i + 1, j) - po(i - 1, j)) &
+        + 0.002 * (prs(i + 1, j) - prs(i - 1, j))
+  end do
+end do
+return
+end
+subroutine pcory
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    p(i, j) = 0.96 * p(i, j) &
+        + 0.001 * (po(i, j + 1) - po(i, j - 1)) &
+        + 0.002 * (prs(i, j + 1) - prs(i, j - 1))
+  end do
+end do
+return
+end
+subroutine psix
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    psin(i, j) = 0.96 * psi(i, j) &
+        + 0.001 * (psi(i + 1, j) - psi(i - 1, j)) &
+        + 0.002 * (omg(i + 1, j) - omg(i - 1, j))
+  end do
+end do
+return
+end
+subroutine psicpx
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    psi(i, j) = psin(i, j)
+  end do
+end do
+return
+end
+subroutine psiy
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    psin(i, j) = 0.96 * psi(i, j) &
+        + 0.001 * (psi(i, j + 1) - psi(i, j - 1)) &
+        + 0.002 * (omg(i, j + 1) - omg(i, j - 1))
+  end do
+end do
+return
+end
+subroutine psicpy
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    psi(i, j) = psin(i, j)
+  end do
+end do
+return
+end
+subroutine vortx
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    omgn(i, j) = 0.96 * omg(i, j) &
+        + 0.001 * (omg(i + 1, j) - omg(i - 1, j)) &
+        + 0.002 * (u(i + 1, j) - u(i - 1, j))
+  end do
+end do
+return
+end
+subroutine vorcpx
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 1, ny
+  do i = 2, nx - 1
+    omg(i, j) = omgn(i, j)
+  end do
+end do
+return
+end
+subroutine vorty
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    omgn(i, j) = 0.96 * omg(i, j) &
+        + 0.001 * (omg(i, j + 1) - omg(i, j - 1)) &
+        + 0.002 * (v(i, j + 1) - v(i, j - 1))
+  end do
+end do
+return
+end
+subroutine vorcpy
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    omg(i, j) = omgn(i, j)
+  end do
+end do
+return
+end
+subroutine veloc
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+do j = 2, ny - 1
+  do i = 1, nx
+    u(i, j) = u(i, j) + 0.1 * (psi(i, j + 1) - psi(i, j - 1))
+  end do
+end do
+do j = 1, ny
+  do i = 2, nx - 1
+    v(i, j) = v(i, j) - 0.1 * (psi(i + 1, j) - psi(i - 1, j))
+  end do
+end do
+return
+end
+subroutine resid
+parameter (nx = 64, ny = 32)
+real u(nx, ny), v(nx, ny), uo(nx, ny), vo(nx, ny)
+real psi(nx, ny), psin(nx, ny), omg(nx, ny), omgn(nx, ny)
+real p(nx, ny), po(nx, ny), prs(nx, ny), src(nx, ny)
+real resmax
+common /flow/ u, v, uo, vo, psi, psin, omg, omgn, p, po, prs, src, resmax
+real c1(nx, ny), c1o(nx, ny), c1t(nx, ny)
+common /spc1/ c1, c1o, c1t
+real c2(nx, ny), c2o(nx, ny), c2t(nx, ny)
+common /spc2/ c2, c2o, c2t
+real c3(nx, ny), c3o(nx, ny), c3t(nx, ny)
+common /spc3/ c3, c3o, c3t
+real c4(nx, ny), c4o(nx, ny), c4t(nx, ny)
+common /spc4/ c4, c4o, c4t
+real c5(nx, ny), c5o(nx, ny), c5t(nx, ny)
+common /spc5/ c5, c5o, c5t
+real c6(nx, ny), c6o(nx, ny), c6t(nx, ny)
+common /spc6/ c6, c6o, c6t
+real tke(nx, ny), tkeo(nx, ny), tket(nx, ny)
+common /sptke/ tke, tkeo, tket
+real eps(nx, ny), epso(nx, ny), epst(nx, ny)
+common /speps/ eps, epso, epst
+real ht(nx, ny), hto(nx, ny), htt(nx, ny)
+common /spht/ ht, hto, htt
+real hm(nx, ny), hmo(nx, ny), hmt(nx, ny)
+common /sphm/ hm, hmo, hmt
+integer i, j
+resmax = 0.0
+do j = 1, ny
+  do i = 1, nx
+    resmax = max(resmax, abs(u(i, j) - uo(i, j)))
+  end do
+end do
+return
+end

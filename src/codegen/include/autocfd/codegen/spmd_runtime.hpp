@@ -30,6 +30,11 @@ struct SpmdRunResult {
   /// Bytecode-engine counters summed over all ranks (zeros when the
   /// run used the tree-walker).
   interp::bytecode::EngineStats engine_stats;
+  /// One raw statement profile per rank when SpmdRunOptions::profile
+  /// was set (empty otherwise). Keys point into the executed
+  /// SourceFile; see interp/stmt_profile.hpp and prof/source_profile.hpp
+  /// for the merged source-keyed views.
+  std::vector<interp::StmtProfile> profiles;
 };
 
 /// Runtime knobs of a simulated SPMD run.
@@ -46,6 +51,10 @@ struct SpmdRunOptions {
   double watchdog = mp::Cluster::kDefaultWatchdog;
   /// Statement executor every rank's interpreter uses.
   interp::EngineKind engine = interp::EngineKind::Bytecode;
+  /// Collect a per-rank source-attributed statement profile into
+  /// SpmdRunResult::profiles. Off by default: with profiling off the
+  /// hooks cost one pointer test per dispatched statement.
+  bool profile = false;
 };
 
 /// Runs the restructured `file` on spec.num_tasks() simulated ranks.

@@ -297,6 +297,8 @@ SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
   std::vector<double> flops(static_cast<std::size_t>(nprocs), 0.0);
   std::vector<interp::bytecode::EngineStats> engine_stats(
       static_cast<std::size_t>(nprocs));
+  std::vector<interp::StmtProfile> profiles(
+      options.profile ? static_cast<std::size_t>(nprocs) : 0u);
 
   auto result_cluster = cluster.run([&](mp::Comm& comm) {
     const int r = comm.rank();
@@ -339,6 +341,11 @@ SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
     };
     interp::Interpreter interp(image, hooks, options.engine);
     rt.interp = &interp;
+    if (options.profile) {
+      auto& prof = profiles[static_cast<std::size_t>(r)];
+      prof.seconds_per_flop = rt.flop_time * rt.mem_factor;
+      interp.set_profile(&prof);
+    }
     interp.run(env);
     rt.flush_compute();
     flops[static_cast<std::size_t>(r)] = interp.flops();
@@ -351,6 +358,7 @@ SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
   result.rank0_output = std::move(outputs[0]);
   for (const auto f : flops) result.total_flops += f;
   for (const auto& es : engine_stats) result.engine_stats += es;
+  result.profiles = std::move(profiles);
 
   // Gather owned blocks into global arrays for validation.
   for (const auto& name : meta.status_arrays) {

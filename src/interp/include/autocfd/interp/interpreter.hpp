@@ -18,6 +18,7 @@
 
 #include "autocfd/interp/bytecode.hpp"
 #include "autocfd/interp/env.hpp"
+#include "autocfd/interp/stmt_profile.hpp"
 
 namespace autocfd::interp {
 
@@ -65,6 +66,14 @@ class Interpreter {
     return output_;
   }
 
+  /// Attaches a statement profile: virtual compute work is attributed
+  /// per attribution unit (see stmt_profile.hpp) into `profile`, which
+  /// must outlive the runs. nullptr (the default) disables profiling;
+  /// disabled, the only cost is one pointer test per dispatched
+  /// statement.
+  void set_profile(StmtProfile* profile) { prof_ = profile; }
+  [[nodiscard]] StmtProfile* profile() const { return prof_; }
+
   [[nodiscard]] EngineKind engine() const { return engine_; }
   /// Compile/cache counters of the bytecode engine (all zero when
   /// running on the tree-walker).
@@ -77,6 +86,7 @@ class Interpreter {
 
   Signal exec_list(const fortran::StmtList& list, Env& env);
   Signal exec_stmt(const fortran::Stmt& s, Env& env);
+  Signal exec_stmt_impl(const fortran::Stmt& s, Env& env);
   void exec_assign(const fortran::Stmt& s, Env& env);
   Signal exec_do(const fortran::Stmt& s, Env& env);
   void exec_read(const fortran::Stmt& s, Env& env);
@@ -90,6 +100,14 @@ class Interpreter {
   double flops_ = 0.0;
   int pending_goto_ = 0;
   std::vector<std::string> output_;
+
+  // Profiling state (see stmt_profile.hpp). `prof_owner_` is the unit
+  // currently charged; nested statements never re-open a unit.
+  StmtProfile* prof_ = nullptr;
+  const fortran::Stmt* prof_owner_ = nullptr;
+  /// Memoized is_attribution_unit verdicts (only touched when
+  /// profiling is enabled).
+  std::unordered_map<const fortran::Stmt*, bool> unit_cache_;
 };
 
 /// Convenience: parse-resolve-run a sequential program; returns the

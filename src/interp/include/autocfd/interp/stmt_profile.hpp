@@ -1,0 +1,56 @@
+// Raw per-rank statement profile: the interpreter-side half of the
+// source-attributed runtime profiler (src/prof holds the merged,
+// source-keyed views).
+//
+// Attribution happens at *attribution units* — statements at which
+// both execution engines behave atomically, so the tree-walker and the
+// bytecode engine charge bit-identical flops to identical keys:
+//
+//   * every Assign dispatched outside a unit is a unit of its own;
+//   * a DO loop is a unit when its whole nest is pure compute
+//     (no calls, io, or parallel extension statements) — exactly the
+//     nests the bytecode engine may compile into opaque kernels.
+//
+// Statements nested inside a unit charge the enclosing unit; anything
+// outside the pure-compute subset (the frame loop calling subroutines,
+// halo exchanges) is never a unit, so the work inside it attributes to
+// the compute nests it contains. Keys point into the executed
+// SourceFile's AST and are only valid while that file is alive.
+#pragma once
+
+#include <unordered_map>
+
+#include "autocfd/fortran/ast.hpp"
+
+namespace autocfd::interp {
+
+/// Virtual compute cost charged to one attribution unit.
+struct StmtCost {
+  double flops = 0.0;
+  long long count = 0;  // times the unit was entered
+};
+
+/// Per-rank profile. `seconds_per_flop` converts attributed flops to
+/// virtual compute seconds with the exact factors the runtime bills
+/// (machine flop time x the rank's memory-hierarchy factor); the
+/// collector (codegen::run_spmd) fills it in.
+struct StmtProfile {
+  std::unordered_map<const fortran::Stmt*, StmtCost> units;
+  double seconds_per_flop = 0.0;
+
+  [[nodiscard]] double total_flops() const {
+    double f = 0.0;
+    for (const auto& [stmt, cost] : units) f += cost.flops;
+    return f;
+  }
+  [[nodiscard]] double total_seconds() const {
+    return total_flops() * seconds_per_flop;
+  }
+};
+
+/// True when `s` can carry attribution (see file comment). Engine
+/// independent and purely structural, hence identical on every rank
+/// and across reruns.
+[[nodiscard]] bool is_attribution_unit(const fortran::Stmt& s);
+
+}  // namespace autocfd::interp

@@ -147,7 +147,65 @@ Interpreter::Signal Interpreter::exec_list(const fortran::StmtList& list,
   return Signal::Normal;
 }
 
+namespace {
+
+/// Pure-compute statement: may appear inside an attribution unit.
+/// Control flow (If/Goto/Return/Stop) is compute-ish; anything that
+/// does io, calls a subroutine or talks to the cluster is not.
+bool pure_compute_stmt(const Stmt& s);
+
+bool pure_compute_body(const fortran::StmtList& body) {
+  for (const auto& st : body) {
+    if (!st || !pure_compute_stmt(*st)) return false;
+  }
+  return true;
+}
+
+bool pure_compute_stmt(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::Assign:
+    case StmtKind::Continue:
+    case StmtKind::Goto:
+    case StmtKind::Return:
+    case StmtKind::Stop:
+      return true;
+    case StmtKind::Do:
+      return pure_compute_body(s.body);
+    case StmtKind::If:
+      return pure_compute_body(s.body) && pure_compute_body(s.else_body);
+    default:
+      return false;  // io, calls, parallel extension statements
+  }
+}
+
+}  // namespace
+
+bool is_attribution_unit(const Stmt& s) {
+  if (s.kind == StmtKind::Assign) return true;
+  return s.kind == StmtKind::Do && pure_compute_body(s.body);
+}
+
 Interpreter::Signal Interpreter::exec_stmt(const Stmt& s, Env& env) {
+  if (prof_ != nullptr && prof_owner_ == nullptr) {
+    auto [it, fresh] = unit_cache_.try_emplace(&s, false);
+    if (fresh) it->second = is_attribution_unit(s);
+    if (it->second) {
+      // Charge everything this unit executes — including nested loops
+      // and, in bytecode mode, whole compiled kernels — to `s`.
+      prof_owner_ = &s;
+      const double before = flops_;
+      const Signal sig = exec_stmt_impl(s, env);
+      auto& cost = prof_->units[&s];
+      cost.flops += flops_ - before;
+      ++cost.count;
+      prof_owner_ = nullptr;
+      return sig;
+    }
+  }
+  return exec_stmt_impl(s, env);
+}
+
+Interpreter::Signal Interpreter::exec_stmt_impl(const Stmt& s, Env& env) {
   switch (s.kind) {
     case StmtKind::Assign:
       if (bc_) {

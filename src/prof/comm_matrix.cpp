@@ -1,0 +1,130 @@
+#include "autocfd/prof/comm_matrix.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace autocfd::prof {
+
+namespace {
+
+/// Smears `[t0, t1]` of rank `r` over the timeline buckets,
+/// apportioning by overlap, into the chosen component.
+void spread(CommTimeline& tl, int r, double t0, double t1,
+            double TimelineCell::* component) {
+  if (t1 <= t0 || tl.bucket_s <= 0.0) return;
+  auto& row = tl.ranks[static_cast<std::size_t>(r)];
+  const int last = tl.nbuckets - 1;
+  const int b0 = std::clamp(static_cast<int>(t0 / tl.bucket_s), 0, last);
+  const int b1 = std::clamp(static_cast<int>(t1 / tl.bucket_s), 0, last);
+  for (int b = b0; b <= b1; ++b) {
+    const double lo = std::max(t0, static_cast<double>(b) * tl.bucket_s);
+    // The last bucket absorbs any FP spill past nbuckets * bucket_s.
+    const double hi =
+        b == b1 ? t1
+                : std::min(t1, static_cast<double>(b + 1) * tl.bucket_s);
+    if (hi > lo) row[static_cast<std::size_t>(b)].*component += hi - lo;
+  }
+}
+
+}  // namespace
+
+CommMatrix build_comm_matrix(const trace::Trace& trace,
+                             const sync::TagRegistry* tags, int nbuckets) {
+  CommMatrix out;
+  out.nranks = trace.nranks;
+  out.rank_totals.assign(static_cast<std::size_t>(trace.nranks), {});
+
+  out.timeline.nbuckets = std::max(nbuckets, 1);
+  const double elapsed = trace.elapsed();
+  out.timeline.bucket_s =
+      elapsed > 0.0 ? elapsed / out.timeline.nbuckets : 0.0;
+  out.timeline.ranks.assign(
+      static_cast<std::size_t>(trace.nranks),
+      std::vector<TimelineCell>(
+          static_cast<std::size_t>(out.timeline.nbuckets)));
+
+  // (src, dst, tag) -> cell; ordered so the final vectors come out
+  // sorted without an extra pass.
+  std::map<std::tuple<int, int, int>, CommCell> cells;
+  std::map<int, CollectiveCost> collectives;
+
+  for (int r = 0; r < trace.nranks; ++r) {
+    auto& totals = out.rank_totals[static_cast<std::size_t>(r)];
+    for (const auto& e : trace.per_rank[static_cast<std::size_t>(r)]) {
+      switch (e.kind) {
+        case mp::EventKind::Compute:
+          spread(out.timeline, r, e.t0, e.t1, &TimelineCell::compute);
+          break;
+        case mp::EventKind::Send: {
+          auto& cell = cells[{e.rank, e.peer, e.tag}];
+          const long long n = std::max(e.n_messages, 1LL);
+          cell.messages += n;
+          cell.bytes += e.bytes;
+          cell.transfer_s += e.t1 - e.t0;
+          totals.messages_sent += n;
+          totals.bytes_sent += e.bytes;
+          spread(out.timeline, r, e.t0, e.t1, &TimelineCell::transfer);
+          break;
+        }
+        case mp::EventKind::Recv: {
+          auto& cell = cells[{e.peer, e.rank, e.tag}];
+          const long long n = std::max(e.n_messages, 1LL);
+          cell.recv_messages += n;
+          cell.recv_bytes += e.bytes;
+          cell.wait_s += e.wait;
+          totals.messages_received += n;
+          totals.bytes_received += e.bytes;
+          spread(out.timeline, r, e.t0, e.t0 + e.wait, &TimelineCell::wait);
+          break;
+        }
+        case mp::EventKind::AllReduce:
+        case mp::EventKind::Barrier: {
+          auto& coll = collectives[e.site];
+          coll.site = e.site;
+          ++coll.entries;
+          coll.wait_s += e.wait;
+          coll.cost_s += e.t1 - e.arrival;
+          spread(out.timeline, r, e.t0, e.t0 + e.wait, &TimelineCell::wait);
+          spread(out.timeline, r, e.arrival, e.t1, &TimelineCell::transfer);
+          break;
+        }
+        case mp::EventKind::Unreceived:
+        case mp::EventKind::FaultDelay:
+        case mp::EventKind::FaultDrop:
+        case mp::EventKind::FaultCorrupt:
+        case mp::EventKind::Timeout:
+          break;  // zero-width markers carry no traffic of their own
+      }
+    }
+  }
+
+  std::map<std::pair<int, int>, NeighborFlow> neighbors;
+  for (auto& [key, cell] : cells) {
+    std::tie(cell.src, cell.dst, cell.tag) = key;
+    if (tags != nullptr) {
+      cell.label = tags->label(cell.tag);
+      const sync::CommSite* site = tags->find(cell.tag);
+      cell.halo = site != nullptr && site->kind == sync::CommSite::Kind::Halo;
+    }
+    auto& flow = neighbors[{cell.src, cell.dst}];
+    flow.src = cell.src;
+    flow.dst = cell.dst;
+    flow.messages += cell.messages;
+    flow.bytes += cell.bytes;
+    if (cell.halo) flow.halo_bytes += cell.bytes;
+    flow.wait_s += cell.wait_s;
+    out.cells.push_back(cell);
+  }
+  out.neighbors.reserve(neighbors.size());
+  for (auto& [key, flow] : neighbors) out.neighbors.push_back(flow);
+
+  out.collectives.reserve(collectives.size());
+  for (auto& [site, coll] : collectives) {
+    if (tags != nullptr) coll.label = tags->label(site);
+    out.collectives.push_back(coll);
+  }
+  return out;
+}
+
+}  // namespace autocfd::prof

@@ -1,0 +1,75 @@
+#include "autocfd/support/output_paths.hpp"
+
+#include <filesystem>
+
+#ifdef _WIN32
+#include <io.h>
+#define ACFD_ACCESS _access
+#define ACFD_W_OK 2
+#else
+#include <unistd.h>
+#define ACFD_ACCESS access
+#define ACFD_W_OK W_OK
+#endif
+
+namespace autocfd::support {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Canonical spelling for duplicate detection: lexically normalized
+/// absolute path (weakly_canonical would also resolve symlinks, but it
+/// needs the prefix to exist; normalization is enough to catch the
+/// "./x vs x" class of accidental duplicates).
+std::string canonical_spelling(const std::string& path) {
+  std::error_code ec;
+  fs::path abs = fs::absolute(fs::path(path), ec);
+  if (ec) return path;
+  return abs.lexically_normal().string();
+}
+
+}  // namespace
+
+std::optional<std::string> validate_output_paths(
+    const std::vector<OutputPath>& outputs) {
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const auto& out = outputs[i];
+    if (out.path.empty()) {
+      return out.flag + ": output path is empty";
+    }
+
+    std::error_code ec;
+    const fs::path p(out.path);
+    if (fs::is_directory(p, ec)) {
+      return out.flag + ": '" + out.path + "' is a directory";
+    }
+
+    // The parent directory must exist and be writable; "" means the
+    // current directory.
+    fs::path dir = p.parent_path();
+    if (dir.empty()) dir = ".";
+    if (!fs::exists(dir, ec)) {
+      return out.flag + ": directory '" + dir.string() +
+             "' does not exist";
+    }
+    if (!fs::is_directory(dir, ec)) {
+      return out.flag + ": '" + dir.string() + "' is not a directory";
+    }
+    if (ACFD_ACCESS(dir.string().c_str(), ACFD_W_OK) != 0) {
+      return out.flag + ": directory '" + dir.string() +
+             "' is not writable";
+    }
+
+    const std::string canon = canonical_spelling(out.path);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (canonical_spelling(outputs[j].path) == canon) {
+        return outputs[j].flag + " and " + out.flag +
+               " both point at '" + out.path + "'";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace autocfd::support

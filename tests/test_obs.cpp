@@ -247,6 +247,88 @@ TEST(TraceMetricsBridge, FoldsEventsIntoRuntimeMetrics) {
   EXPECT_GE(reg.gauge("runtime.rank.1.wait_s"), 0.25);
 }
 
+TEST(TraceMetricsBridge, ZeroMessageRankStillGetsItsHistograms) {
+  // A rank that never communicates (1-rank "cluster", compute only)
+  // must still appear in the registry with empty histograms and zeroed
+  // gauges — consumers key on the metric names, not on traffic.
+  trace::Trace t;
+  t.nranks = 2;
+  t.per_rank.resize(2);
+  mp::TraceEvent compute;
+  compute.kind = mp::EventKind::Compute;
+  compute.rank = 0;
+  compute.t0 = 0.0;
+  compute.t1 = 0.5;
+  t.per_rank[0].push_back(compute);
+  // rank 1 recorded no events at all.
+
+  obs::MetricsRegistry reg;
+  trace::trace_to_metrics(t, reg);
+
+  for (int r = 0; r < 2; ++r) {
+    const std::string prefix = "runtime.rank." + std::to_string(r) + ".";
+    const auto* bytes = reg.find_histogram(prefix + "send_bytes");
+    ASSERT_NE(bytes, nullptr) << "rank " << r;
+    EXPECT_EQ(bytes->count(), 0) << "rank " << r;
+    const auto* wait = reg.find_histogram(prefix + "recv_wait_s");
+    ASSERT_NE(wait, nullptr) << "rank " << r;
+    EXPECT_EQ(wait->count(), 0) << "rank " << r;
+  }
+  EXPECT_EQ(reg.counter("runtime.messages"), 0);
+  EXPECT_DOUBLE_EQ(reg.gauge("runtime.rank.0.compute_s"), 0.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("runtime.rank.1.compute_s"), 0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("runtime.rank.1.wait_s"), 0.0);
+}
+
+TEST(TraceMetricsBridge, SingleEventRun) {
+  trace::Trace t;
+  t.nranks = 1;
+  t.per_rank.resize(1);
+  mp::TraceEvent compute;
+  compute.kind = mp::EventKind::Compute;
+  compute.rank = 0;
+  compute.t0 = 0.0;
+  compute.t1 = 2.0;
+  t.per_rank[0].push_back(compute);
+
+  obs::MetricsRegistry reg;
+  trace::trace_to_metrics(t, reg);
+  EXPECT_DOUBLE_EQ(reg.gauge("runtime.elapsed_s"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("runtime.rank.0.compute_s"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("runtime.rank.0.transfer_s"), 0.0);
+  EXPECT_EQ(reg.counter("runtime.messages"), 0);
+  EXPECT_EQ(reg.counter("runtime.collectives"), 0);
+}
+
+TEST(TraceMetricsBridge, JsonIsDeterministicAcrossBridgings) {
+  trace::Trace t;
+  t.nranks = 3;
+  t.per_rank.resize(3);
+  for (int r = 0; r < 3; ++r) {
+    mp::TraceEvent send;
+    send.kind = mp::EventKind::Send;
+    send.rank = r;
+    send.bytes = 64 * (r + 1);
+    send.n_messages = 1;
+    send.t1 = 0.1 * (r + 1);
+    t.per_rank[static_cast<std::size_t>(r)].push_back(send);
+  }
+  const auto render = [&] {
+    obs::MetricsRegistry reg;
+    trace::trace_to_metrics(t, reg);
+    return reg.json();
+  };
+  const std::string a = render();
+  const std::string b = render();
+  EXPECT_EQ(a, b);
+  // Metric ordering is sorted, so rank 10 would sort before rank 2 —
+  // the schema relies on map ordering, which json() must preserve.
+  EXPECT_LT(a.find("runtime.rank.0.send_bytes"),
+            a.find("runtime.rank.1.send_bytes"));
+  EXPECT_LT(a.find("runtime.rank.1.send_bytes"),
+            a.find("runtime.rank.2.send_bytes"));
+}
+
 // ---------------------------------------------------------------------------
 // Full-pipeline acceptance (aerofoil at trace_viewer's laptop size)
 // ---------------------------------------------------------------------------

@@ -1,0 +1,318 @@
+// The profiling layer's contract: attribution is *complete* (per rank,
+// attributed compute seconds equal the cluster's own compute clock and
+// attributed flops equal the run total), *engine-independent* (tree
+// walker and bytecode engine charge bit-identical flops to identical
+// source keys), and the communication matrix *reconciles* with the
+// cluster's per-rank accounting — clean and under a timing-only fault
+// plan. On top of that, run reports must be deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "autocfd/cfd/apps.hpp"
+#include "autocfd/core/pipeline.hpp"
+#include "autocfd/fault/fault.hpp"
+#include "autocfd/prof/report.hpp"
+#include "autocfd/trace/recorder.hpp"
+
+namespace autocfd::prof {
+namespace {
+
+std::string aerofoil_small() {
+  cfd::AerofoilParams p;
+  p.n1 = 32;
+  p.n2 = 16;
+  p.n3 = 6;
+  p.frames = 1;
+  return cfd::aerofoil_source(p);
+}
+
+std::string sprayer_small() {
+  cfd::SprayerParams p;
+  p.nx = 48;
+  p.ny = 24;
+  p.frames = 1;
+  return cfd::sprayer_source(p);
+}
+
+struct ProfiledRun {
+  std::unique_ptr<core::ParallelProgram> program;
+  codegen::SpmdRunResult result;
+  trace::Trace trace;
+  obs::ObsContext obs;
+};
+
+ProfiledRun run_profiled(const std::string& source,
+                         const std::string& partition,
+                         interp::EngineKind engine,
+                         mp::FaultHook* faults = nullptr) {
+  ProfiledRun out;
+  DiagnosticEngine diags;
+  auto dirs = core::Directives::extract(source, diags);
+  dirs.partition = partition::PartitionSpec::parse(partition);
+  out.program =
+      core::parallelize(source, dirs, sync::CombineStrategy::Min, &out.obs);
+  trace::TraceRecorder recorder;
+  codegen::SpmdRunOptions opts;
+  opts.sink = &recorder;
+  opts.engine = engine;
+  opts.profile = true;
+  opts.faults = faults;
+  out.result =
+      out.program->run(mp::MachineConfig::pentium_ethernet_1999(), opts);
+  out.trace = recorder.take();
+  return out;
+}
+
+void expect_near_rel(double a, double b, double rel) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+  EXPECT_LE(std::abs(a - b), rel * scale) << a << " vs " << b;
+}
+
+// ------------------------------------------------------- completeness
+
+class AttributionCompleteness
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {
+};
+
+TEST_P(AttributionCompleteness, AttributedComputeEqualsRankClocks) {
+  const auto [app, partition] = GetParam();
+  const std::string source =
+      std::string(app) == "aerofoil" ? aerofoil_small() : sprayer_small();
+  auto run = run_profiled(source, partition, interp::EngineKind::Bytecode);
+  const int nranks = run.program->meta.spec.num_tasks();
+  ASSERT_EQ(run.result.profiles.size(), static_cast<std::size_t>(nranks));
+
+  const auto profile = build_source_profile(run.result.profiles);
+  ASSERT_EQ(profile.nranks, nranks);
+  EXPECT_FALSE(profile.entries.empty());
+
+  const auto& stats = run.result.cluster.ranks;
+  ASSERT_EQ(stats.size(), static_cast<std::size_t>(nranks));
+  double flops_sum = 0.0;
+  for (int r = 0; r < nranks; ++r) {
+    const auto& st = stats[static_cast<std::size_t>(r)];
+    // Attributed compute seconds == the cluster's compute clock. Unit
+    // sums associate differently than the interpreter's flush deltas,
+    // so allow last-bit noise but nothing more.
+    expect_near_rel(profile.rank_seconds[static_cast<std::size_t>(r)],
+                    st.compute_time, 1e-9);
+    // Attributed compute + communication == the rank's whole clock.
+    expect_near_rel(profile.rank_seconds[static_cast<std::size_t>(r)] +
+                        st.comm_time,
+                    st.compute_time + st.comm_time, 1e-9);
+    flops_sum += profile.rank_flops[static_cast<std::size_t>(r)];
+  }
+  // Flops are integer-valued doubles: sums are exact, equality is too.
+  EXPECT_EQ(flops_sum, run.result.total_flops);
+  EXPECT_EQ(profile.total_flops, run.result.total_flops);
+
+  // Shares are a partition of 1.
+  double share_sum = 0.0;
+  for (const auto& e : profile.entries) share_sum += e.share;
+  expect_near_rel(share_sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CaseStudies, AttributionCompleteness,
+    ::testing::Values(std::make_pair("aerofoil", "2x2x1"),
+                      std::make_pair("sprayer", "2x2")));
+
+TEST(StmtProfile, DisabledRunCollectsNothing) {
+  const std::string source = sprayer_small();
+  DiagnosticEngine diags;
+  auto dirs = core::Directives::extract(source, diags);
+  dirs.partition = partition::PartitionSpec::parse("2x2");
+  auto program = core::parallelize(source, dirs);
+  const auto result =
+      program->run(mp::MachineConfig::pentium_ethernet_1999());
+  EXPECT_TRUE(result.profiles.empty());
+}
+
+// ------------------------------------------------- engine equivalence
+
+TEST(EngineEquivalence, TreeAndBytecodeChargeIdenticalFlops) {
+  for (const auto& [source, partition] :
+       {std::make_pair(aerofoil_small(), std::string("2x2x1")),
+        std::make_pair(sprayer_small(), std::string("2x2"))}) {
+    auto tree = run_profiled(source, partition, interp::EngineKind::Tree);
+    auto byte =
+        run_profiled(source, partition, interp::EngineKind::Bytecode);
+    const auto tp = build_source_profile(tree.result.profiles);
+    const auto bp = build_source_profile(byte.result.profiles);
+
+    ASSERT_EQ(tp.entries.size(), bp.entries.size());
+    for (std::size_t i = 0; i < tp.entries.size(); ++i) {
+      const auto& te = tp.entries[i];
+      const auto& be = bp.entries[i];
+      EXPECT_EQ(te.loc.line, be.loc.line);
+      EXPECT_EQ(te.loc.column, be.loc.column);
+      // Bit-identical attribution: same flops, same entry counts.
+      EXPECT_EQ(te.flops, be.flops) << "line " << te.loc.line;
+      EXPECT_EQ(te.count, be.count) << "line " << te.loc.line;
+    }
+    EXPECT_EQ(tp.total_flops, bp.total_flops);
+  }
+}
+
+// -------------------------------------------------------- comm matrix
+
+void expect_matrix_reconciles(const CommMatrix& matrix,
+                              const std::vector<mp::RankStats>& stats) {
+  ASSERT_EQ(matrix.rank_totals.size(), stats.size());
+  for (std::size_t r = 0; r < stats.size(); ++r) {
+    const auto& t = matrix.rank_totals[r];
+    const auto& st = stats[r];
+    EXPECT_EQ(t.messages_sent, st.messages_sent) << "rank " << r;
+    EXPECT_EQ(t.bytes_sent, st.bytes_sent) << "rank " << r;
+    EXPECT_EQ(t.messages_received, st.messages_received) << "rank " << r;
+    EXPECT_EQ(t.bytes_received, st.bytes_received) << "rank " << r;
+  }
+  // Cell sums are the same totals grouped by (src, dst, tag).
+  long long cell_msgs = 0, total_sent = 0;
+  for (const auto& cell : matrix.cells) cell_msgs += cell.messages;
+  for (const auto& st : stats) total_sent += st.messages_sent;
+  EXPECT_EQ(cell_msgs, total_sent);
+}
+
+TEST(CommMatrix, ReconcilesWithClusterAccounting) {
+  auto run =
+      run_profiled(aerofoil_small(), "2x2x1", interp::EngineKind::Bytecode);
+  const auto matrix =
+      build_comm_matrix(run.trace, &run.program->meta.tags, 16);
+  expect_matrix_reconciles(matrix, run.result.cluster.ranks);
+
+  // Every cell's tag resolves against the registry, and halo traffic
+  // exists on this app.
+  long long halo_bytes = 0;
+  for (const auto& cell : matrix.cells) {
+    EXPECT_FALSE(cell.label.empty());
+    if (cell.halo) halo_bytes += cell.bytes;
+  }
+  EXPECT_GT(halo_bytes, 0);
+}
+
+TEST(CommMatrix, ReconcilesUnderTimingOnlyFaults) {
+  auto plan = fault::FaultPlan::parse("seed=11,jitter=0.5:0.03");
+  fault::FaultInjector injector{plan};
+  auto run = run_profiled(aerofoil_small(), "2x2x1",
+                          interp::EngineKind::Bytecode, &injector);
+  const auto matrix =
+      build_comm_matrix(run.trace, &run.program->meta.tags, 16);
+  expect_matrix_reconciles(matrix, run.result.cluster.ranks);
+  EXPECT_GT(injector.counters().delayed, 0);
+}
+
+TEST(CommMatrix, TimelineRowsSumToRankClocks) {
+  auto run =
+      run_profiled(sprayer_small(), "2x2", interp::EngineKind::Bytecode);
+  const auto matrix =
+      build_comm_matrix(run.trace, &run.program->meta.tags, 24);
+  const auto breakdown = trace::rank_breakdown(run.trace);
+  ASSERT_EQ(matrix.timeline.ranks.size(), breakdown.size());
+  for (std::size_t r = 0; r < breakdown.size(); ++r) {
+    TimelineCell sum;
+    for (const auto& cell : matrix.timeline.ranks[r]) {
+      sum.compute += cell.compute;
+      sum.transfer += cell.transfer;
+      sum.wait += cell.wait;
+    }
+    expect_near_rel(sum.compute, breakdown[r].compute, 1e-9);
+    expect_near_rel(sum.transfer, breakdown[r].transfer, 1e-9);
+    expect_near_rel(sum.wait, breakdown[r].wait, 1e-9);
+  }
+}
+
+// ------------------------------------------------------------ reports
+
+TEST(RunReport, ProvenanceAttachesLoopClasses) {
+  auto run =
+      run_profiled(sprayer_small(), "2x2", interp::EngineKind::Bytecode);
+  ReportOptions opts;
+  opts.title = "sprayer";
+  opts.engine = "bytecode";
+  const auto report = build_run_report(*run.program, run.result, run.trace,
+                                       &run.obs.provenance, opts);
+  int classified = 0;
+  for (const auto& e : report.profile.entries) {
+    if (e.is_loop && !e.loop_class.empty()) ++classified;
+  }
+  EXPECT_GT(classified, 0);
+
+  // Every registered sync-plan site appears, halo sites carry the
+  // explain engine's merge rationale.
+  ASSERT_EQ(report.sites.size(), run.program->meta.tags.size());
+  int halo_with_why = 0;
+  for (const auto& s : report.sites) {
+    if (s.kind == "halo" && !s.why.empty()) ++halo_with_why;
+  }
+  EXPECT_GT(halo_with_why, 0);
+}
+
+TEST(RunReport, JsonIsDeterministicAcrossRuns) {
+  const auto render = [] {
+    auto run =
+        run_profiled(sprayer_small(), "2x2", interp::EngineKind::Bytecode);
+    ReportOptions opts;
+    opts.title = "sprayer";
+    opts.engine = "bytecode";
+    opts.seq_elapsed_s = 1.0;
+    const auto report = build_run_report(
+        *run.program, run.result, run.trace, &run.obs.provenance, opts);
+    std::ostringstream os;
+    write_report_json(report, os);
+    return os.str();
+  };
+  const std::string a = render();
+  const std::string b = render();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"speedup\""), std::string::npos);
+}
+
+TEST(RunReport, TextAndHtmlRender) {
+  auto run =
+      run_profiled(sprayer_small(), "2x2", interp::EngineKind::Bytecode);
+  ReportOptions opts;
+  opts.title = "sprayer <&> \"quoted\"";
+  opts.engine = "bytecode";
+  const auto report = build_run_report(*run.program, run.result, run.trace,
+                                       &run.obs.provenance, opts);
+  std::ostringstream text, html;
+  write_report(report, ReportFormat::Text, text);
+  write_report(report, ReportFormat::Html, html);
+  EXPECT_NE(text.str().find("hot spots"), std::string::npos);
+  EXPECT_NE(text.str().find("communication matrix"), std::string::npos);
+  // HTML must escape the title, not interpolate it raw.
+  EXPECT_EQ(html.str().find("<&>"), std::string::npos);
+  EXPECT_NE(html.str().find("&lt;&amp;&gt;"), std::string::npos);
+}
+
+TEST(RunReport, FormatParsing) {
+  EXPECT_EQ(parse_report_format(""), ReportFormat::Text);
+  EXPECT_EQ(parse_report_format("text"), ReportFormat::Text);
+  EXPECT_EQ(parse_report_format("json"), ReportFormat::Json);
+  EXPECT_EQ(parse_report_format("html"), ReportFormat::Html);
+  EXPECT_FALSE(parse_report_format("yaml").has_value());
+}
+
+// ------------------------------------------------------- metrics view
+
+TEST(ProfileMetrics, ExportsTotalsAndHotLoop) {
+  auto run =
+      run_profiled(sprayer_small(), "2x2", interp::EngineKind::Bytecode);
+  auto profile = build_source_profile(run.result.profiles);
+  attach_provenance(profile, run.obs.provenance);
+  obs::MetricsRegistry reg;
+  profile_to_metrics(profile, reg);
+  EXPECT_EQ(reg.counter("prof.units"),
+            static_cast<std::int64_t>(profile.entries.size()));
+  EXPECT_GT(reg.counter("prof.loops"), 0);
+  EXPECT_DOUBLE_EQ(reg.gauge("prof.flops"), profile.total_flops);
+  EXPECT_GT(reg.gauge("prof.hot.time_s"), 0.0);
+  EXPECT_GT(reg.gauge("prof.rank.0.compute_s"), 0.0);
+}
+
+}  // namespace
+}  // namespace autocfd::prof

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
 #include "autocfd/support/diagnostics.hpp"
+#include "autocfd/support/output_paths.hpp"
 #include "autocfd/support/strings.hpp"
 
 namespace autocfd {
@@ -101,6 +107,64 @@ TEST(Diagnostics, DumpPreservesInsertionOrder) {
   ASSERT_NE(c, std::string::npos);
   EXPECT_LT(a, b);
   EXPECT_LT(b, c);
+}
+
+TEST(OutputPaths, AcceptsDistinctWritableFiles) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto problem = support::validate_output_paths(
+      {{"-o", (dir / "acfd_out.f").string()},
+       {"--metrics-out", (dir / "acfd_metrics.json").string()}});
+  EXPECT_FALSE(problem.has_value()) << *problem;
+  EXPECT_FALSE(support::validate_output_paths({}).has_value());
+}
+
+TEST(OutputPaths, RejectsDuplicateDestinations) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "acfd_dup.json").string();
+  const auto problem = support::validate_output_paths(
+      {{"--metrics-out", path}, {"--report-out", path}});
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("--metrics-out"), std::string::npos);
+  EXPECT_NE(problem->find("--report-out"), std::string::npos);
+  EXPECT_NE(problem->find(path), std::string::npos);
+}
+
+TEST(OutputPaths, RejectsDuplicatesSpelledDifferently) {
+  // ./x and x name the same file; catch the aliased spelling too.
+  const auto cwd = std::filesystem::current_path().string();
+  const auto problem = support::validate_output_paths(
+      {{"-o", cwd + "/x.json"}, {"--report-out", cwd + "/./x.json"}});
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("both point at"), std::string::npos);
+}
+
+TEST(OutputPaths, RejectsMissingDirectory) {
+  const auto problem = support::validate_output_paths(
+      {{"--metrics-out", "/no-such-dir-acfd/m.json"}});
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("does not exist"), std::string::npos);
+}
+
+TEST(OutputPaths, RejectsDirectoryAsDestination) {
+  const auto dir = std::filesystem::temp_directory_path().string();
+  const auto problem =
+      support::validate_output_paths({{"--report-out", dir}});
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("is a directory"), std::string::npos);
+}
+
+TEST(OutputPaths, RejectsUnwritableDirectory) {
+  if (::geteuid() == 0) GTEST_SKIP() << "root writes anywhere";
+  const auto problem =
+      support::validate_output_paths({{"--metrics-out", "/proc/m.json"}});
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("not writable"), std::string::npos);
+}
+
+TEST(OutputPaths, RejectsEmptyPath) {
+  const auto problem = support::validate_output_paths({{"-o", ""}});
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("empty"), std::string::npos);
 }
 
 }  // namespace

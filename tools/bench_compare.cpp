@@ -1,0 +1,175 @@
+// bench_compare: regression gate over two BENCH_*.json sidecars.
+//
+//   bench_compare baseline.json current.json [--threshold=0.10]
+//
+// Compares the performance keys the two flat sidecars share:
+//   * keys containing "elapsed"  — virtual/wall run time, lower is
+//     better; a regression is current > baseline * (1 + threshold);
+//   * keys containing "speedup"  — higher is better; a regression is
+//     current < baseline * (1 - threshold).
+// Everything else (counters, phase breakdowns, hot-loop metadata) is
+// informational and never gates. Exits 1 when any shared perf key
+// regressed by more than the threshold, 2 on usage/parse errors, 0
+// otherwise. Keys present on one side only are reported but don't
+// fail the gate — sidecars legitimately gain keys as benches grow.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+/// Parses the flat one-level JSON object the benches emit
+/// ({"key": number-or-string, ...}). String values are skipped; any
+/// structural surprise returns false.
+bool parse_flat_sidecar(const std::string& path,
+                        std::map<std::string, double>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read '%s'\n", path.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  };
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "bench_compare: '%s': %s at offset %zu\n",
+                 path.c_str(), what, i);
+    return false;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') return fail("expected '{'");
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == '}') return true;  // empty object
+  while (true) {
+    skip_ws();
+    if (i >= text.size() || text[i] != '"') return fail("expected key");
+    const std::size_t key_start = ++i;
+    while (i < text.size() && text[i] != '"') ++i;
+    if (i >= text.size()) return fail("unterminated key");
+    const std::string key = text.substr(key_start, i - key_start);
+    ++i;
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return fail("expected ':'");
+    ++i;
+    skip_ws();
+    if (i < text.size() && text[i] == '"') {
+      // String value: skip (no escapes beyond \" in our sidecars).
+      ++i;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\') ++i;
+        ++i;
+      }
+      if (i >= text.size()) return fail("unterminated string value");
+      ++i;
+    } else {
+      char* end = nullptr;
+      const double value = std::strtod(text.c_str() + i, &end);
+      if (end == text.c_str() + i) return fail("expected number");
+      out[key] = value;
+      i = static_cast<std::size_t>(end - text.c_str());
+    }
+    skip_ws();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') return true;
+    return fail("expected ',' or '}'");
+  }
+}
+
+enum class Direction { LowerBetter, HigherBetter, Informational };
+
+Direction classify(const std::string& key) {
+  if (key.find("elapsed") != std::string::npos) {
+    return Direction::LowerBetter;
+  }
+  if (key.find("speedup") != std::string::npos) {
+    return Direction::HigherBetter;
+  }
+  return Direction::Informational;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path;
+  double threshold = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::atof(arg.c_str() + 12);
+      if (threshold <= 0.0) {
+        std::fprintf(stderr, "bench_compare: bad threshold '%s'\n",
+                     arg.c_str());
+        return 2;
+      }
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_compare baseline.json current.json "
+                   "[--threshold=0.10]\n");
+      return 2;
+    }
+  }
+  if (current_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_compare baseline.json current.json "
+                 "[--threshold=0.10]\n");
+    return 2;
+  }
+
+  std::map<std::string, double> baseline, current;
+  if (!parse_flat_sidecar(baseline_path, baseline)) return 2;
+  if (!parse_flat_sidecar(current_path, current)) return 2;
+
+  int regressions = 0, compared = 0;
+  for (const auto& [key, base] : baseline) {
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      if (classify(key) != Direction::Informational) {
+        std::printf("  missing   %-40s (was %.6g)\n", key.c_str(), base);
+      }
+      continue;
+    }
+    const Direction dir = classify(key);
+    if (dir == Direction::Informational) continue;
+    ++compared;
+    const double cur = it->second;
+    const double delta = base != 0.0 ? (cur - base) / base : 0.0;
+    const bool regressed = dir == Direction::LowerBetter
+                               ? cur > base * (1.0 + threshold)
+                               : cur < base * (1.0 - threshold);
+    const char* mark = regressed ? "REGRESSED" : "ok";
+    std::printf("  %-9s %-40s %.6g -> %.6g (%+.1f%%)\n", mark, key.c_str(),
+                base, cur, delta * 100.0);
+    if (regressed) ++regressions;
+  }
+  for (const auto& [key, cur] : current) {
+    if (baseline.count(key) == 0 &&
+        classify(key) != Direction::Informational) {
+      std::printf("  new       %-40s %.6g\n", key.c_str(), cur);
+    }
+  }
+
+  std::printf(
+      "bench_compare: %d perf key(s) compared, %d regression(s) beyond "
+      "%.0f%%\n",
+      compared, regressions, threshold * 100.0);
+  return regressions > 0 ? 1 : 0;
+}
