@@ -5,6 +5,7 @@
 //        [--report[=json|text|html]] [--report-out r.json]
 //        [--explain[=text|json]] [--profile] [--metrics-out m.json]
 //        [--faults=SPEC] [--watchdog=SEC]
+//        [--plan-from=report.json --plan-out=plan.json] [--plan=plan.json]
 //
 // Reads a sequential Fortran CFD program (directives embedded as
 // !$acfd comments or overridden on the command line), writes the SPMD
@@ -30,6 +31,17 @@
 //                      cost, the communication matrix and per-rank
 //                      timelines. FMT: text (default) | json | html.
 //   --report-out F     write the run report to F instead of stdout.
+//
+// Profile-guided planning (the two-run workflow):
+//   --plan-from F      read a prior run's --report=json file, search
+//                      partition shapes x combine strategies against the
+//                      measured profile and comm matrix (biased by
+//                      --faults when given), and emit a PlanFile; no
+//                      compile or run happens in this mode.
+//   --plan-out F       write the PlanFile to F (default: stdout).
+//   --plan F           apply a PlanFile: its partition and combining
+//                      strategy override the static heuristics, and
+//                      every override shows up under --explain.
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -40,6 +52,7 @@
 #include "autocfd/core/pipeline.hpp"
 #include "autocfd/fault/fault.hpp"
 #include "autocfd/fortran/parser.hpp"
+#include "autocfd/plan/planner.hpp"
 #include "autocfd/prof/report.hpp"
 #include "autocfd/support/output_paths.hpp"
 #include "autocfd/trace/metrics_bridge.hpp"
@@ -74,7 +87,11 @@ void usage() {
       "                     e.g. seed=7,jitter=0.3:0.05,straggler=1:2\n"
       "                     (see fault::FaultPlan::parse)\n"
       "  --watchdog=SEC     virtual-time watchdog deadline for blocked\n"
-      "                     communication (default 30; <= 0 disables)\n");
+      "                     communication (default 30; <= 0 disables)\n"
+      "  --plan-from F      plan from a prior --report=json file (honors\n"
+      "                     --faults) and emit a PlanFile; no compile/run\n"
+      "  --plan-out F       write the PlanFile to F (default: stdout)\n"
+      "  --plan F           apply a PlanFile's partition/strategy overrides\n");
 }
 
 }  // namespace
@@ -98,6 +115,7 @@ int main(int argc, char** argv) {
   bool run = false, analyze_only = false;
   bool explain = false, explain_json = false, profile = false;
   std::string faults_spec;
+  std::string plan_from_path, plan_out_path, plan_path;
   double watchdog = mp::Cluster::kDefaultWatchdog;
   auto engine = interp::EngineKind::Bytecode;
 
@@ -156,6 +174,18 @@ int main(int argc, char** argv) {
       faults_spec = arg.substr(9);
     } else if (arg == "--faults") {
       faults_spec = next();
+    } else if (arg.rfind("--plan-from=", 0) == 0) {
+      plan_from_path = arg.substr(12);
+    } else if (arg == "--plan-from") {
+      plan_from_path = next();
+    } else if (arg.rfind("--plan-out=", 0) == 0) {
+      plan_out_path = arg.substr(11);
+    } else if (arg == "--plan-out") {
+      plan_out_path = next();
+    } else if (arg.rfind("--plan=", 0) == 0) {
+      plan_path = arg.substr(7);
+    } else if (arg == "--plan") {
+      plan_path = next();
     } else if (arg.rfind("--watchdog=", 0) == 0) {
       watchdog = std::atof(arg.c_str() + 11);
     } else if (arg == "--watchdog") {
@@ -240,6 +270,9 @@ int main(int argc, char** argv) {
     if (!report_path.empty()) {
       outputs.push_back({"--report-out", report_path});
     }
+    if (!plan_out_path.empty()) {
+      outputs.push_back({"--plan-out", plan_out_path});
+    }
     if (const auto problem = support::validate_output_paths(outputs)) {
       std::fprintf(stderr, "acfd: %s\n", problem->c_str());
       return 2;
@@ -258,11 +291,59 @@ int main(int argc, char** argv) {
     }
     if (nprocs > 0) dirs.nprocs = nprocs;
 
+    if (!plan_from_path.empty()) {
+      // Planning mode: measured report in, PlanFile out, nothing runs.
+      std::string err;
+      const auto plan_input = plan::load_plan_input(plan_from_path, &err);
+      if (!plan_input) {
+        std::fprintf(stderr, "acfd: %s\n", err.c_str());
+        return 2;
+      }
+      plan::PlannerOptions popts;
+      popts.source = source;
+      popts.directives = dirs;
+      if (!faults_spec.empty()) {
+        popts.faults = fault::FaultPlan::parse(faults_spec);
+      }
+      const auto plan_file = plan::make_plan(*plan_input, popts);
+      if (plan_out_path.empty()) {
+        std::fprintf(stdout, "%s", plan_file.json().c_str());
+      } else {
+        std::ofstream pos(plan_out_path);
+        plan_file.write_json(pos);
+        pos.flush();
+        if (!pos) {
+          std::fprintf(stderr, "acfd: cannot write plan file '%s'\n",
+                       plan_out_path.c_str());
+          return 1;
+        }
+        std::fprintf(chat, "acfd: wrote %s\n", plan_out_path.c_str());
+      }
+      std::fprintf(chat, "acfd: plan: %s\n", plan_file.rationale.c_str());
+      return 0;
+    }
+
+    std::optional<core::PlanOverrides> plan_overrides;
+    if (!plan_path.empty()) {
+      std::string err;
+      const auto plan_file = plan::PlanFile::load(plan_path, &err);
+      if (!plan_file) {
+        std::fprintf(stderr, "acfd: %s\n", err.c_str());
+        return 2;
+      }
+      plan_overrides = plan_file->to_overrides(plan_path);
+      if (plan_file->nranks > 0) dirs.nprocs = plan_file->nranks;
+      std::fprintf(chat, "acfd: applying plan %s: partition %s, strategy %s\n",
+                   plan_path.c_str(), plan_file->partition.c_str(),
+                   plan_file->strategy.c_str());
+    }
+
     obs::ObsContext obs;
     const bool want_obs =
         explain || profile || !metrics_path.empty() || want_report;
     auto program =
-        core::parallelize(source, dirs, strategy, want_obs ? &obs : nullptr);
+        core::parallelize(source, dirs, strategy, want_obs ? &obs : nullptr,
+                          plan_overrides ? &*plan_overrides : nullptr);
     const auto& rep = program->report;
     std::fprintf(chat,
                  "acfd: partition %s, %d field loops, %d dependence pairs\n",

@@ -1,0 +1,59 @@
+// plan_viewer: human view of a planner PlanFile.
+//
+//   plan_viewer plan.json
+//
+// Prints the chosen configuration with its rationale, the secondary
+// decisions (self-dependent loop treatment, combining), and the full
+// scored candidate table — predicted virtual time with its
+// compute/communication/pipeline/fault decomposition — best first.
+#include <cstdio>
+#include <string>
+
+#include "autocfd/plan/plan_file.hpp"
+
+int main(int argc, char** argv) {
+  using namespace autocfd;
+
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: plan_viewer plan.json\n");
+    return 2;
+  }
+  std::string error;
+  const auto plan = plan::PlanFile::load(argv[1], &error);
+  if (!plan) {
+    std::fprintf(stderr, "plan_viewer: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::printf("=== plan: %s (%d ranks) ===\n", plan->planned_from.c_str(),
+              plan->nranks);
+  if (!plan->fault_spec.empty()) {
+    std::printf("fault plan: %s\n", plan->fault_spec.c_str());
+  }
+  std::printf("chosen:  %s (%s), predicted %.4f s\n", plan->partition.c_str(),
+              plan->strategy.c_str(), plan->predicted_s);
+  std::printf("static:  %s (%s), predicted %.4f s\n",
+              plan->static_partition.c_str(), plan->static_strategy.c_str(),
+              plan->static_predicted_s);
+  std::printf("why:     %s\n", plan->rationale.c_str());
+  for (const auto& d : plan->decisions) {
+    std::printf("         %s\n", d.c_str());
+  }
+
+  std::printf("\n%-10s %-9s %10s %10s %10s %10s %10s %6s %5s\n", "partition",
+              "strategy", "predicted", "compute", "comm", "pipeline",
+              "fault", "syncs", "pipes");
+  for (const auto& c : plan->candidates) {
+    if (!c.feasible) {
+      std::printf("%-10s %-9s %10s  rejected: %s\n", c.partition.c_str(),
+                  c.strategy.c_str(), "-", c.note.c_str());
+      continue;
+    }
+    std::printf("%-10s %-9s %9.4fs %9.4fs %9.4fs %9.4fs %9.4fs %6d %5d%s%s\n",
+                c.partition.c_str(), c.strategy.c_str(), c.predicted_s,
+                c.compute_s, c.comm_s, c.pipeline_s, c.fault_s,
+                c.syncs_after, c.pipelined_loops, c.chosen ? "  <-- chosen" : "",
+                !c.chosen && c.is_static ? "  (static)" : "");
+  }
+  return 0;
+}

@@ -14,12 +14,17 @@
 //     -> parallel source (printed) + executable program + report
 #pragma once
 
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "autocfd/codegen/restructure.hpp"
 #include "autocfd/codegen/spmd_runtime.hpp"
 #include "autocfd/core/directives.hpp"
+#include "autocfd/depend/self_dep.hpp"
 #include "autocfd/obs/obs.hpp"
 
 namespace autocfd::core {
@@ -34,6 +39,24 @@ struct Report {
   int syncs_before = 0;         // synchronization points before combining
   int syncs_after = 0;          // after combining
   double optimization_percent = 0.0;
+  /// The combining strategy the counts above were produced under.
+  sync::CombineStrategy strategy = sync::CombineStrategy::Min;
+};
+
+/// Decisions a profile-guided plan (src/plan) imposes on the pipeline
+/// in place of its static heuristics. Every override is recorded in
+/// the provenance log under the "planned" tag, so --explain shows what
+/// the planner changed and why.
+struct PlanOverrides {
+  std::optional<partition::PartitionSpec> partition;
+  std::optional<sync::CombineStrategy> strategy;
+  /// Where the plan came from (plan-file path or "planner"), quoted in
+  /// the provenance rationale.
+  std::string origin;
+  /// One human-readable line per planner decision ("chose 4x2 over
+  /// 8x1; predicted 1.31x from measured comm matrix"), appended to the
+  /// explain log verbatim.
+  std::vector<std::string> decisions;
 };
 
 /// Everything the pre-compiler produces. Owns the restructured AST;
@@ -67,10 +90,12 @@ struct ParallelProgram {
 /// `obs->profiler` (wall time + phase counters), every classification /
 /// hoisting / combining decision lands in `obs->provenance`, and the
 /// profile is exported into `obs->metrics` under "compile.*".
+/// With `plan`, the plan's partition/strategy replace the static
+/// choices and its decision lines land in the provenance log.
 [[nodiscard]] std::unique_ptr<ParallelProgram> parallelize(
     std::string_view source, const Directives& directives,
     sync::CombineStrategy strategy = sync::CombineStrategy::Min,
-    obs::ObsContext* obs = nullptr);
+    obs::ObsContext* obs = nullptr, const PlanOverrides* plan = nullptr);
 
 /// Directive extraction + parallelize in one call.
 [[nodiscard]] std::unique_ptr<ParallelProgram> parallelize(
@@ -82,5 +107,53 @@ struct ParallelProgram {
 [[nodiscard]] Report analyze_only(std::string_view source,
                                   const Directives& directives,
                                   obs::ObsContext* obs = nullptr);
+
+/// analyze_only under an explicit combining strategy (the planner
+/// scores Min/Pairwise/None candidates with this).
+[[nodiscard]] Report analyze_only(std::string_view source,
+                                  const Directives& directives,
+                                  sync::CombineStrategy strategy,
+                                  obs::ObsContext* obs);
+
+/// What the planner's cost model needs to know about one candidate
+/// configuration, extracted without restructuring or running: the
+/// combined synchronization points with their aggregated halo content,
+/// the ghost widths restructuring would allocate per status array
+/// (they pad the slab payloads of every halo exchange), and the
+/// self-dependent loops with their pipeline geometry.
+struct PlanningFacts {
+  Report report;
+  partition::Grid grid;
+  partition::PartitionSpec spec;
+  sync::CombineStrategy strategy = sync::CombineStrategy::Min;
+
+  /// Aggregated halo content of each combined synchronization point,
+  /// in plan order (mirrors SyncPlan::halos_for).
+  std::vector<std::vector<fortran::HaloSpec>> points;
+  /// Per status array: union ghost widths (dependence pairs + regions
+  /// + pipeline pre/flow halos), as codegen's ghost planner computes.
+  std::map<std::string, partition::HaloWidths> ghosts;
+
+  struct SelfDep {
+    int line = 0;  // source line of the self-dependent loop
+    std::string array;
+    depend::SelfDepKind kind = depend::SelfDepKind::None;
+    /// Cut dimensions whose flow dependences force pipelining (dim,
+    /// dir); empty when the partition leaves the loop local.
+    std::vector<std::pair<int, int>> pipeline_dims;
+    partition::HaloWidths pre_halo;
+    partition::HaloWidths flow_halo;
+  };
+  std::vector<SelfDep> self_deps;
+};
+
+/// Full analysis (classify -> depend -> sync plan) for one candidate
+/// configuration. Throws CompileError when the candidate is infeasible
+/// (e.g. a diagonal self-dependence across a cut dimension); the
+/// planner treats that as "candidate rejected".
+[[nodiscard]] PlanningFacts analyze_for_plan(
+    std::string_view source, const Directives& directives,
+    sync::CombineStrategy strategy = sync::CombineStrategy::Min,
+    obs::ObsContext* obs = nullptr);
 
 }  // namespace autocfd::core

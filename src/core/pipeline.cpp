@@ -18,26 +18,59 @@ struct Analysis {
   sync::SyncPlan plan;
   partition::PartitionSpec spec;
 
+  sync::CombineStrategy strategy = sync::CombineStrategy::Min;
+
   static Analysis run(fortran::SourceFile& file, const Directives& dirs,
                       DiagnosticEngine& diags,
                       sync::CombineStrategy strategy =
                           sync::CombineStrategy::Min,
-                      ObsContext* obs = nullptr) {
+                      ObsContext* obs = nullptr,
+                      const PlanOverrides* overrides = nullptr) {
     auto* profiler = ObsContext::profiler_of(obs);
     auto* prov = ObsContext::provenance_of(obs);
 
+    const std::string plan_origin =
+        overrides != nullptr && !overrides->origin.empty() ? overrides->origin
+                                                           : "plan";
+    if (overrides != nullptr && overrides->strategy.has_value()) {
+      strategy = *overrides->strategy;
+    }
+
     Analysis a;
+    a.strategy = strategy;
     {
       PhaseTimer t(profiler, "partition");
-      a.spec = dirs.resolve_partition();
+      if (overrides != nullptr && overrides->partition.has_value()) {
+        a.spec = *overrides->partition;
+      } else {
+        a.spec = dirs.resolve_partition();
+      }
       t.count("tasks", a.spec.num_tasks());
       if (prov != nullptr) {
-        prov->add(obs::DecisionKind::PartitionChoice, SourceLoc{},
-                  "grid partition", a.spec.str(),
-                  dirs.partition.has_value()
+        const char* rationale =
+            overrides != nullptr && overrides->partition.has_value()
+                ? nullptr
+                : dirs.partition.has_value()
                       ? "taken verbatim from the partition directive"
                       : "balance-optimal partition for the directive's "
-                        "processor count");
+                        "processor count";
+        prov->add(obs::DecisionKind::PartitionChoice, SourceLoc{},
+                  "grid partition", a.spec.str(),
+                  rationale != nullptr
+                      ? std::string(rationale)
+                      : "planned: imposed by " + plan_origin);
+      }
+    }
+    if (prov != nullptr && overrides != nullptr) {
+      if (overrides->strategy.has_value()) {
+        prov->add(obs::DecisionKind::PlannerOverride, SourceLoc{},
+                  "combine strategy",
+                  sync::combine_strategy_name(*overrides->strategy),
+                  "planned: imposed by " + plan_origin);
+      }
+      for (const auto& line : overrides->decisions) {
+        prov->add(obs::DecisionKind::PlannerOverride, SourceLoc{}, "planner",
+                  line, "from " + plan_origin);
       }
     }
     const auto cfg = dirs.field_config();
@@ -100,6 +133,7 @@ struct Analysis {
     r.syncs_before = plan.syncs_before();
     r.syncs_after = plan.syncs_after();
     r.optimization_percent = plan.optimization_percent();
+    r.strategy = strategy;
     return r;
   }
 };
@@ -109,7 +143,8 @@ struct Analysis {
 std::unique_ptr<ParallelProgram> parallelize(std::string_view source,
                                              const Directives& directives,
                                              sync::CombineStrategy strategy,
-                                             obs::ObsContext* obs) {
+                                             obs::ObsContext* obs,
+                                             const PlanOverrides* plan) {
   auto* profiler = ObsContext::profiler_of(obs);
   obs::PassProfiler::TotalTimer total(profiler);
 
@@ -129,7 +164,7 @@ std::unique_ptr<ParallelProgram> parallelize(std::string_view source,
   throw_if_errors(diags, "parse");
 
   auto analysis =
-      Analysis::run(program->file, directives, diags, strategy, obs);
+      Analysis::run(program->file, directives, diags, strategy, obs, plan);
   throw_if_errors(diags, "analysis");
   program->report = analysis.report();
 
@@ -164,8 +199,13 @@ std::unique_ptr<ParallelProgram> parallelize(std::string_view source,
   return parallelize(source, dirs, sync::CombineStrategy::Min, obs);
 }
 
-Report analyze_only(std::string_view source, const Directives& directives,
-                    obs::ObsContext* obs) {
+namespace {
+
+/// Shared front half of the analysis-only entry points: validate the
+/// directives, parse, and run the analysis pipeline.
+Analysis analyze_source(std::string_view source, const Directives& directives,
+                        sync::CombineStrategy strategy, obs::ObsContext* obs,
+                        fortran::SourceFile& file) {
   auto* profiler = ObsContext::profiler_of(obs);
   obs::PassProfiler::TotalTimer total(profiler);
 
@@ -175,17 +215,82 @@ Report analyze_only(std::string_view source, const Directives& directives,
     directives.validate(diags);
   }
   throw_if_errors(diags, "directives");
-  fortran::SourceFile file;
   {
     PhaseTimer t(profiler, "parse");
     file = fortran::parse_source(source, diags);
     t.count("units", static_cast<double>(file.units.size()));
   }
   throw_if_errors(diags, "parse");
-  auto analysis = Analysis::run(file, directives, diags,
-                                sync::CombineStrategy::Min, obs);
+  auto analysis = Analysis::run(file, directives, diags, strategy, obs);
   throw_if_errors(diags, "analysis");
-  return analysis.report();
+  return analysis;
+}
+
+}  // namespace
+
+Report analyze_only(std::string_view source, const Directives& directives,
+                    obs::ObsContext* obs) {
+  return analyze_only(source, directives, sync::CombineStrategy::Min, obs);
+}
+
+Report analyze_only(std::string_view source, const Directives& directives,
+                    sync::CombineStrategy strategy, obs::ObsContext* obs) {
+  fortran::SourceFile file;
+  return analyze_source(source, directives, strategy, obs, file).report();
+}
+
+PlanningFacts analyze_for_plan(std::string_view source,
+                               const Directives& directives,
+                               sync::CombineStrategy strategy,
+                               obs::ObsContext* obs) {
+  fortran::SourceFile file;
+  auto analysis = analyze_source(source, directives, strategy, obs, file);
+
+  PlanningFacts facts;
+  facts.report = analysis.report();
+  facts.grid = directives.grid;
+  facts.spec = analysis.spec;
+  facts.strategy = analysis.strategy;
+
+  facts.points.reserve(analysis.plan.points.size());
+  for (const auto& point : analysis.plan.points) {
+    facts.points.push_back(sync::SyncPlan::halos_for(point));
+  }
+
+  // Mirror codegen's ghost planner: the slab payload of every halo
+  // exchange spans the full local allocation (ghosts included) in the
+  // non-exchange dimensions, so the cost model needs these widths.
+  const int rank = directives.grid.rank();
+  for (const auto& a : directives.field_config().status_arrays) {
+    facts.ghosts[a] = partition::HaloWidths::uniform(rank, 0);
+  }
+  const auto add_ghost = [&](const std::string& array,
+                             const partition::HaloWidths& h) {
+    auto it = facts.ghosts.find(array);
+    if (it == facts.ghosts.end()) return;
+    it->second = partition::HaloWidths::merge(it->second, h);
+  };
+  for (const auto& p : analysis.deps.pairs) add_ghost(p.array, p.halo);
+  for (const auto& r : analysis.plan.regions) {
+    add_ghost(r.pair->array, r.pair->halo);
+  }
+  for (const auto& pp : analysis.plan.pipelines) {
+    add_ghost(pp.plan.array, pp.plan.flow_halo);
+    add_ghost(pp.plan.array, pp.plan.pre_halo);
+  }
+
+  facts.self_deps.reserve(analysis.plan.pipelines.size());
+  for (const auto& pp : analysis.plan.pipelines) {
+    PlanningFacts::SelfDep sd;
+    sd.line = pp.site->loop->loop->loc.line;
+    sd.array = pp.plan.array;
+    sd.kind = pp.plan.kind;
+    sd.pipeline_dims = pp.plan.pipeline_dims;
+    sd.pre_halo = pp.plan.pre_halo;
+    sd.flow_halo = pp.plan.flow_halo;
+    facts.self_deps.push_back(std::move(sd));
+  }
+  return facts;
 }
 
 }  // namespace autocfd::core

@@ -26,6 +26,7 @@ enum class DecisionKind {
   RegionExtent,        // sync: final upper-bound region of one pair
   CombineMerge,        // sync: one synchronization point for N regions
   PartitionChoice,     // core: partition resolved from directives
+  PlannerOverride,     // plan: profile-guided plan overrode a heuristic
 };
 
 [[nodiscard]] const char* decision_kind_name(DecisionKind kind);

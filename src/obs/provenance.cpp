@@ -15,6 +15,7 @@ const char* decision_kind_name(DecisionKind kind) {
     case DecisionKind::RegionExtent: return "region_extent";
     case DecisionKind::CombineMerge: return "combine_merge";
     case DecisionKind::PartitionChoice: return "partition_choice";
+    case DecisionKind::PlannerOverride: return "planner_override";
   }
   return "?";
 }
@@ -28,6 +29,7 @@ const char* decision_kind_tag(DecisionKind kind) {
     case DecisionKind::RegionExtent: return "region";
     case DecisionKind::CombineMerge: return "combine";
     case DecisionKind::PartitionChoice: return "partition";
+    case DecisionKind::PlannerOverride: return "planned";
   }
   return "?";
 }

@@ -19,6 +19,13 @@
 
 namespace autocfd::prof {
 
+/// Version stamp of the run-report JSON schema. Bump whenever a field
+/// is added, removed, or changes meaning; consumers (the planner)
+/// refuse reports from another version instead of misreading them.
+/// History: 1 = PR5's unversioned layout; 2 adds schema_version itself
+/// and the compile-block "strategy".
+inline constexpr int kRunReportSchemaVersion = 2;
+
 /// One sync-plan site's end-to-end communication bill, joining the
 /// TagRegistry entry with the traffic the trace attributed to it and
 /// (for combined sync points) the explain engine's merge rationale.

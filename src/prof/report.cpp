@@ -94,6 +94,7 @@ std::optional<ReportFormat> parse_report_format(std::string_view name) {
 
 void write_report_json(const RunReport& report, std::ostream& os) {
   os << "{\n";
+  os << "  \"schema_version\": " << kRunReportSchemaVersion << ",\n";
   os << "  \"title\": \"" << json_escape(report.title) << "\",\n";
   os << "  \"partition\": \"" << json_escape(report.partition) << "\",\n";
   os << "  \"nranks\": " << report.nranks << ",\n";
@@ -116,7 +117,8 @@ void write_report_json(const RunReport& report, std::ostream& os) {
      << ", \"syncs_before\": " << c.syncs_before
      << ", \"syncs_after\": " << c.syncs_after
      << ", \"optimization_percent\": " << json_number(c.optimization_percent)
-     << "},\n";
+     << ", \"strategy\": \"" << sync::combine_strategy_name(c.strategy)
+     << "\"},\n";
 
   os << "  \"ranks\": [";
   for (std::size_t r = 0; r < report.ranks.size(); ++r) {

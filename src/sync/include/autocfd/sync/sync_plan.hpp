@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "autocfd/depend/self_dep.hpp"
@@ -25,6 +26,14 @@ enum class CombineStrategy {
   Pairwise,  // Figure 6(c)'s non-optimal baseline
   None,      // one synchronization per dependence pair (ablation)
 };
+
+/// Stable lowercase name ("min", "pairwise", "none") used in reports,
+/// plan files, and CLI flags.
+[[nodiscard]] const char* combine_strategy_name(CombineStrategy strategy);
+
+/// Inverse of combine_strategy_name; returns false on unknown names.
+[[nodiscard]] bool parse_combine_strategy(const std::string& name,
+                                          CombineStrategy& out);
 
 struct PipelinePlan {
   const depend::TraceSite* site = nullptr;

@@ -5,6 +5,28 @@
 
 namespace autocfd::sync {
 
+const char* combine_strategy_name(CombineStrategy strategy) {
+  switch (strategy) {
+    case CombineStrategy::Min: return "min";
+    case CombineStrategy::Pairwise: return "pairwise";
+    case CombineStrategy::None: return "none";
+  }
+  return "?";
+}
+
+bool parse_combine_strategy(const std::string& name, CombineStrategy& out) {
+  if (name == "min") {
+    out = CombineStrategy::Min;
+  } else if (name == "pairwise") {
+    out = CombineStrategy::Pairwise;
+  } else if (name == "none") {
+    out = CombineStrategy::None;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 double SyncPlan::optimization_percent() const {
   // A program with no dependent loop pairs has nothing to optimize;
   // report 0% rather than dividing by zero (NaN).

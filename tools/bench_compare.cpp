@@ -10,23 +10,28 @@
 // Everything else (counters, phase breakdowns, hot-loop metadata) is
 // informational and never gates. Exits 1 when any shared perf key
 // regressed by more than the threshold, 2 on usage/parse errors, 0
-// otherwise. Keys present on one side only are reported but don't
-// fail the gate — sidecars legitimately gain keys as benches grow.
+// otherwise. Perf keys present on one side only, or numeric on one
+// side and string on the other, are skipped with a warning and a
+// summary count instead of failing the gate — sidecars legitimately
+// gain, drop, and retype keys as benches grow.
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
 namespace {
 
 /// Parses the flat one-level JSON object the benches emit
-/// ({"key": number-or-string, ...}). String values are skipped; any
+/// ({"key": number-or-string, ...}). String-valued keys land in
+/// `strings` so type mismatches across sidecars can be diagnosed; any
 /// structural surprise returns false.
 bool parse_flat_sidecar(const std::string& path,
-                        std::map<std::string, double>& out) {
+                        std::map<std::string, double>& out,
+                        std::set<std::string>& strings) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "bench_compare: cannot read '%s'\n", path.c_str());
@@ -65,7 +70,10 @@ bool parse_flat_sidecar(const std::string& path,
     ++i;
     skip_ws();
     if (i < text.size() && text[i] == '"') {
-      // String value: skip (no escapes beyond \" in our sidecars).
+      // String value: record the key so a numeric twin on the other
+      // side is flagged, skip the content (no escapes beyond \" in
+      // our sidecars).
+      strings.insert(key);
       ++i;
       while (i < text.size() && text[i] != '"') {
         if (text[i] == '\\') ++i;
@@ -135,20 +143,31 @@ int main(int argc, char** argv) {
   }
 
   std::map<std::string, double> baseline, current;
-  if (!parse_flat_sidecar(baseline_path, baseline)) return 2;
-  if (!parse_flat_sidecar(current_path, current)) return 2;
+  std::set<std::string> baseline_strings, current_strings;
+  if (!parse_flat_sidecar(baseline_path, baseline, baseline_strings)) return 2;
+  if (!parse_flat_sidecar(current_path, current, current_strings)) return 2;
 
-  int regressions = 0, compared = 0;
+  int regressions = 0, compared = 0, skipped = 0;
+  const auto skip = [&](const char* why, const std::string& key,
+                        const char* detail) {
+    ++skipped;
+    std::printf("  skipped   %-40s %s%s (not gating)\n", key.c_str(), why,
+                detail);
+  };
   for (const auto& [key, base] : baseline) {
+    if (classify(key) == Direction::Informational) continue;
     const auto it = current.find(key);
     if (it == current.end()) {
-      if (classify(key) != Direction::Informational) {
-        std::printf("  missing   %-40s (was %.6g)\n", key.c_str(), base);
+      if (current_strings.count(key) != 0) {
+        skip("number in baseline, string in current", key, "");
+      } else {
+        char detail[48];
+        std::snprintf(detail, sizeof detail, " (was %.6g)", base);
+        skip("only in baseline", key, detail);
       }
       continue;
     }
     const Direction dir = classify(key);
-    if (dir == Direction::Informational) continue;
     ++compared;
     const double cur = it->second;
     const double delta = base != 0.0 ? (cur - base) / base : 0.0;
@@ -161,15 +180,20 @@ int main(int argc, char** argv) {
     if (regressed) ++regressions;
   }
   for (const auto& [key, cur] : current) {
-    if (baseline.count(key) == 0 &&
-        classify(key) != Direction::Informational) {
-      std::printf("  new       %-40s %.6g\n", key.c_str(), cur);
+    if (classify(key) == Direction::Informational) continue;
+    if (baseline.count(key) != 0) continue;
+    if (baseline_strings.count(key) != 0) {
+      skip("string in baseline, number in current", key, "");
+    } else {
+      char detail[48];
+      std::snprintf(detail, sizeof detail, " (now %.6g)", cur);
+      skip("only in current", key, detail);
     }
   }
 
   std::printf(
-      "bench_compare: %d perf key(s) compared, %d regression(s) beyond "
-      "%.0f%%\n",
-      compared, regressions, threshold * 100.0);
+      "bench_compare: %d perf key(s) compared, %d skipped with warnings, "
+      "%d regression(s) beyond %.0f%%\n",
+      compared, skipped, regressions, threshold * 100.0);
   return regressions > 0 ? 1 : 0;
 }
