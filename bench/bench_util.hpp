@@ -155,6 +155,22 @@ inline autocfd::codegen::SpmdRunResult run_par(
   return result;
 }
 
+/// Stamps the build/run metadata block every sidecar carries:
+/// tools/bench_compare warns when two sidecars disagree on it, so a
+/// Debug-vs-Release (or cross-engine) comparison is flagged instead of
+/// read as a perf regression.
+inline void record_metadata() {
+  record("meta.schema_version", 1.0);
+  record("meta.seed", 0.0);
+#ifdef NDEBUG
+  record_str("meta.build_type", "Release");
+#else
+  record_str("meta.build_type", "Debug");
+#endif
+  record_str("meta.engine", "bytecode");
+  record_str("meta.machine", "pentium_ethernet_1999");
+}
+
 /// Standard tail: write the JSON sidecar (if anything was recorded),
 /// print a footer and hand over to google-benchmark.
 inline int finish(int argc, char** argv) {
@@ -177,6 +193,7 @@ inline int finish(int argc, char** argv) {
       small.frames = 1;
       (void)run_par(autocfd::cfd::aerofoil_source(small), "2x1x1");
     }
+    record_metadata();
     std::string stem = argv[0];
     if (const auto slash = stem.find_last_of('/'); slash != std::string::npos) {
       stem = stem.substr(slash + 1);

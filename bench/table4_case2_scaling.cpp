@@ -3,7 +3,30 @@
 // The paper sweeps the grid density from 40x15 to 160x60 and shows the
 // 2-processor efficiency rising from 50% toward ~88% as the
 // computation/communication ratio grows with density.
+//
+// Each density runs through the scaling observatory (src/sweep): a
+// one-cell sweep at 2 ranks with the sequential run as the baseline —
+// the same harness `acfd --sweep` uses — and every figure printed here
+// is asserted to reconcile exactly with the cell's underlying run
+// report before it is trusted.
 #include "bench_util.hpp"
+
+#include <cstdlib>
+
+#include "autocfd/sweep/sweep.hpp"
+
+namespace {
+
+/// Dies loudly when a ScalingReport figure disagrees with the
+/// underlying RunReport it was distilled from — the observatory's
+/// aggregation must be an exact view, not an approximation.
+void check(bool ok, const char* what) {
+  if (ok) return;
+  std::fprintf(stderr, "table4: RECONCILIATION FAILED: %s\n", what);
+  std::exit(1);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace autocfd;
@@ -25,6 +48,11 @@ int main(int argc, char** argv) {
       {160, 60, 1.75, 87},
   };
 
+  sweep::SweepSpec spec;
+  spec.ranks = {2};
+  spec.partitions[2] = {"2x1"};
+  spec.sequential_baseline = true;
+
   double first_eff = 0.0, last_eff = 0.0;
   for (const auto& row : rows) {
     cfd::SprayerParams p;
@@ -34,21 +62,59 @@ int main(int argc, char** argv) {
     const auto src = cfd::sprayer_source(p);
     DiagnosticEngine diags;
     const auto dirs = core::Directives::extract(src, diags);
-    const auto seq = bench_util::run_seq(src, dirs.status_arrays);
-    const auto par = bench_util::run_par(src, "2x1");
-    const double speedup = seq.elapsed / par.elapsed;
-    const double eff = 100.0 * speedup / 2.0;
+    spec.title = "sprayer " + std::to_string(row.nx) + "x" +
+                 std::to_string(row.ny);
+    const auto result = sweep::run_sweep(src, dirs, spec);
+
+    check(result.report.cells.size() == 1 && result.cell_reports.size() == 1,
+          "one 2-rank cell expected");
+    const auto& cell = result.report.cells.front();
+    const auto& rep = result.cell_reports.front();
+    check(cell.elapsed_s == rep.elapsed_s, "cell elapsed == report elapsed");
+    check(result.report.seq_elapsed_s > 0.0, "sequential baseline ran");
+    double compute = 0.0, transfer = 0.0, wait = 0.0;
+    for (const auto& rb : rep.ranks) {
+      compute += rb.compute;
+      transfer += rb.transfer;
+      wait += rb.wait;
+    }
+    check(cell.compute_s == compute && cell.transfer_s == transfer &&
+              cell.wait_s == wait,
+          "cell rank-time decomposition == report rank breakdown sums");
+    long long messages = 0, bytes = 0;
+    for (const auto& rt : rep.comm.rank_totals) {
+      messages += rt.messages_sent;
+      bytes += rt.bytes_sent;
+    }
+    check(cell.messages == messages && cell.bytes == bytes,
+          "cell wire traffic == report comm-matrix rank totals");
+    check(cell.speedup ==
+              result.report.seq_elapsed_s / cell.elapsed_s,
+          "cell speedup == seq / par elapsed");
+
+    const double speedup = cell.speedup;
+    const double eff = 100.0 * cell.efficiency;
     if (row.nx == rows.front().nx) first_eff = eff;
     if (row.nx == rows.back().nx) last_eff = eff;
     std::printf("%3lldx%-6lld %14.3f %14.3f %10.2f %11.0f%% %14.2f %11d%%\n",
-                row.nx, row.ny, seq.elapsed, par.elapsed, speedup, eff,
-                row.paper_speedup, row.paper_eff);
+                row.nx, row.ny, result.report.seq_elapsed_s, cell.elapsed_s,
+                speedup, eff, row.paper_speedup, row.paper_eff);
+
+    const std::string prefix =
+        std::to_string(row.nx) + "x" + std::to_string(row.ny);
+    bench_util::record(prefix + ".seq_elapsed_s",
+                       result.report.seq_elapsed_s);
+    bench_util::record(prefix + ".par_elapsed_s", cell.elapsed_s);
+    bench_util::record(prefix + ".speedup", speedup);
+    bench_util::record(prefix + ".efficiency", cell.efficiency);
+    bench_util::record(prefix + ".comm_share", cell.comm_share);
   }
 
   std::printf(
       "\nShape check: efficiency rises with grid density (%.0f%% -> %.0f%%)\n"
       "as the computation/communication ratio grows — the paper's trend\n"
-      "(50%% -> ~88%%). Absolute values depend on the calibrated machine.\n",
+      "(50%% -> ~88%%). Absolute values depend on the calibrated machine.\n"
+      "Every row reconciled exactly against its cell's run report.\n",
       first_eff, last_eff);
 
   benchmark::RegisterBenchmark("sprayer/seq/40x15", [](benchmark::State& s) {

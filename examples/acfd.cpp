@@ -6,6 +6,7 @@
 //        [--explain[=text|json]] [--profile] [--metrics-out m.json]
 //        [--faults=SPEC] [--watchdog=SEC]
 //        [--plan-from=report.json --plan-out=plan.json] [--plan=plan.json]
+//        [--sweep=spec.json --sweep-out=scaling.json [--sweep-format=FMT]]
 //
 // Reads a sequential Fortran CFD program (directives embedded as
 // !$acfd comments or overridden on the command line), writes the SPMD
@@ -42,6 +43,20 @@
 //   --plan F           apply a PlanFile: its partition and combining
 //                      strategy override the static heuristics, and
 //                      every override shows up under --explain.
+//
+// Scaling observatory (the multi-run workflow):
+//   --sweep F          read a SweepSpec (rank counts x partitions x
+//                      engines, optional fault plan), execute every
+//                      cell on the simulated cluster, and emit one
+//                      ScalingReport — speedup/efficiency curves,
+//                      Karp-Flatt serial fractions, per-site
+//                      communication-share trends, comm-bound vs
+//                      compute-bound crossover. With "plan": true in
+//                      the spec, the planner's candidate table is
+//                      scored at every scale point.
+//   --sweep-out F      write the ScalingReport to F (default stdout);
+//                      format from the extension unless --sweep-format.
+//   --sweep-format FMT json | text (default) | html.
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -55,6 +70,7 @@
 #include "autocfd/plan/planner.hpp"
 #include "autocfd/prof/report.hpp"
 #include "autocfd/support/output_paths.hpp"
+#include "autocfd/sweep/sweep.hpp"
 #include "autocfd/trace/metrics_bridge.hpp"
 #include "autocfd/trace/recorder.hpp"
 
@@ -91,7 +107,12 @@ void usage() {
       "  --plan-from F      plan from a prior --report=json file (honors\n"
       "                     --faults) and emit a PlanFile; no compile/run\n"
       "  --plan-out F       write the PlanFile to F (default: stdout)\n"
-      "  --plan F           apply a PlanFile's partition/strategy overrides\n");
+      "  --plan F           apply a PlanFile's partition/strategy overrides\n"
+      "  --sweep F          execute the sweep spec F (rank counts x\n"
+      "                     partitions x engines) and emit a ScalingReport\n"
+      "  --sweep-out F      write the ScalingReport to F (default: stdout;\n"
+      "                     format from the extension)\n"
+      "  --sweep-format FMT json | text (default) | html\n");
 }
 
 }  // namespace
@@ -116,6 +137,8 @@ int main(int argc, char** argv) {
   bool explain = false, explain_json = false, profile = false;
   std::string faults_spec;
   std::string plan_from_path, plan_out_path, plan_path;
+  std::string sweep_spec_path, sweep_out_path, sweep_format_arg;
+  bool sweep_format_set = false;
   double watchdog = mp::Cluster::kDefaultWatchdog;
   auto engine = interp::EngineKind::Bytecode;
 
@@ -186,6 +209,20 @@ int main(int argc, char** argv) {
       plan_path = arg.substr(7);
     } else if (arg == "--plan") {
       plan_path = next();
+    } else if (arg.rfind("--sweep=", 0) == 0) {
+      sweep_spec_path = arg.substr(8);
+    } else if (arg == "--sweep") {
+      sweep_spec_path = next();
+    } else if (arg.rfind("--sweep-out=", 0) == 0) {
+      sweep_out_path = arg.substr(12);
+    } else if (arg == "--sweep-out") {
+      sweep_out_path = next();
+    } else if (arg.rfind("--sweep-format=", 0) == 0) {
+      sweep_format_arg = arg.substr(15);
+      sweep_format_set = true;
+    } else if (arg == "--sweep-format") {
+      sweep_format_arg = next();
+      sweep_format_set = true;
     } else if (arg.rfind("--watchdog=", 0) == 0) {
       watchdog = std::atof(arg.c_str() + 11);
     } else if (arg == "--watchdog") {
@@ -273,6 +310,9 @@ int main(int argc, char** argv) {
     if (!plan_out_path.empty()) {
       outputs.push_back({"--plan-out", plan_out_path});
     }
+    if (!sweep_out_path.empty()) {
+      outputs.push_back({"--sweep-out", sweep_out_path});
+    }
     if (const auto problem = support::validate_output_paths(outputs)) {
       std::fprintf(stderr, "acfd: %s\n", problem->c_str());
       return 2;
@@ -290,6 +330,66 @@ int main(int argc, char** argv) {
       dirs.partition = partition::PartitionSpec::parse(partition_arg);
     }
     if (nprocs > 0) dirs.nprocs = nprocs;
+
+    if (!sweep_spec_path.empty()) {
+      // Sweep mode: spec in, ScalingReport out; every cell runs on the
+      // simulated cluster, no SPMD source file is written.
+      std::string err;
+      auto spec = sweep::SweepSpec::load(sweep_spec_path, &err);
+      if (!spec) {
+        std::fprintf(stderr, "acfd: %s\n", err.c_str());
+        return 2;
+      }
+      if (spec->title.empty()) {
+        spec->title = std::filesystem::path(input_path).stem().string();
+      }
+      auto format = sweep::SweepFormat::Text;
+      if (sweep_format_set) {
+        const auto parsed = sweep::parse_sweep_format(sweep_format_arg);
+        if (!parsed) {
+          std::fprintf(stderr,
+                       "acfd: unknown sweep format '%s' (expected json, "
+                       "text or html)\n",
+                       sweep_format_arg.c_str());
+          return 2;
+        }
+        format = *parsed;
+      } else if (!sweep_out_path.empty()) {
+        const auto dot = sweep_out_path.rfind('.');
+        const std::string ext =
+            dot == std::string::npos ? "" : sweep_out_path.substr(dot + 1);
+        if (ext == "json") format = sweep::SweepFormat::Json;
+        else if (ext == "html" || ext == "htm")
+          format = sweep::SweepFormat::Html;
+      }
+      sweep::SweepOptions sopts;
+      sopts.watchdog = watchdog;
+      const auto result = sweep::run_sweep(source, dirs, *spec, sopts);
+      const std::string crossed =
+          result.report.crossover_nranks > 0
+              ? " from " + std::to_string(result.report.crossover_nranks) +
+                    " ranks"
+              : "";
+      std::fprintf(chat, "acfd: sweep '%s': %zu cell(s), %s%s\n",
+                   spec->title.c_str(), result.report.cells.size(),
+                   result.report.classification.c_str(), crossed.c_str());
+      if (sweep_out_path.empty()) {
+        std::ostringstream os;
+        sweep::write_scaling_report(result.report, format, os);
+        std::fprintf(stdout, "%s", os.str().c_str());
+      } else {
+        std::ofstream sos(sweep_out_path);
+        sweep::write_scaling_report(result.report, format, sos);
+        sos.flush();
+        if (!sos) {
+          std::fprintf(stderr, "acfd: cannot write sweep report '%s'\n",
+                       sweep_out_path.c_str());
+          return 1;
+        }
+        std::fprintf(chat, "acfd: wrote %s\n", sweep_out_path.c_str());
+      }
+      return 0;
+    }
 
     if (!plan_from_path.empty()) {
       // Planning mode: measured report in, PlanFile out, nothing runs.

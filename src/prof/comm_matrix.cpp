@@ -12,8 +12,16 @@ namespace {
 /// apportioning by overlap, into the chosen component.
 void spread(CommTimeline& tl, int r, double t0, double t1,
             double TimelineCell::* component) {
-  if (t1 <= t0 || tl.bucket_s <= 0.0) return;
+  if (t1 <= t0) return;
   auto& row = tl.ranks[static_cast<std::size_t>(r)];
+  if (tl.bucket_s <= 0.0) {
+    // Degenerate bucket width (zero-elapsed / zero-iteration run, or a
+    // hand-built trace whose final event ends at t=0): everything the
+    // run did still lands in the single surviving bucket instead of
+    // being silently dropped.
+    if (!row.empty()) row.front().*component += t1 - t0;
+    return;
+  }
   const int last = tl.nbuckets - 1;
   const int b0 = std::clamp(static_cast<int>(t0 / tl.bucket_s), 0, last);
   const int b1 = std::clamp(static_cast<int>(t1 / tl.bucket_s), 0, last);
@@ -35,8 +43,11 @@ CommMatrix build_comm_matrix(const trace::Trace& trace,
   out.nranks = trace.nranks;
   out.rank_totals.assign(static_cast<std::size_t>(trace.nranks), {});
 
-  out.timeline.nbuckets = std::max(nbuckets, 1);
   const double elapsed = trace.elapsed();
+  // A zero-elapsed trace cannot split its (empty) time span evenly:
+  // collapse to one zero-width bucket that absorbs any event durations
+  // (see spread) rather than dividing by a degenerate bucket width.
+  out.timeline.nbuckets = elapsed > 0.0 ? std::max(nbuckets, 1) : 1;
   out.timeline.bucket_s =
       elapsed > 0.0 ? elapsed / out.timeline.nbuckets : 0.0;
   out.timeline.ranks.assign(

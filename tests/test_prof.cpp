@@ -225,6 +225,49 @@ TEST(CommMatrix, TimelineRowsSumToRankClocks) {
   }
 }
 
+TEST(CommMatrix, ZeroElapsedTraceCollapsesToOneBucket) {
+  // A zero-iteration run: every event is zero-width at t = 0, so the
+  // bucket width degenerates to 0. The timeline must collapse to a
+  // single bucket instead of keeping 24 unreachable ones.
+  trace::Trace zero;
+  zero.nranks = 2;
+  zero.per_rank.resize(2);
+  mp::TraceEvent e;
+  e.kind = mp::EventKind::Compute;
+  e.rank = 0;
+  e.t0 = e.t1 = 0.0;
+  zero.per_rank[0].push_back(e);
+  const auto matrix = build_comm_matrix(zero, nullptr, 24);
+  EXPECT_EQ(matrix.timeline.nbuckets, 1);
+  EXPECT_EQ(matrix.timeline.bucket_s, 0.0);
+  ASSERT_EQ(matrix.timeline.ranks.size(), 2u);
+  ASSERT_EQ(matrix.timeline.ranks[0].size(), 1u);
+  EXPECT_EQ(matrix.timeline.ranks[0][0].total(), 0.0);
+
+  // A trace whose *final* event ends at t = 0 while an earlier span has
+  // real width (elapsed() == 0, bucket width 0): the compute time must
+  // land in the surviving bucket, not be silently dropped.
+  trace::Trace degenerate;
+  degenerate.nranks = 1;
+  degenerate.per_rank.resize(1);
+  mp::TraceEvent compute;
+  compute.kind = mp::EventKind::Compute;
+  compute.rank = 0;
+  compute.t0 = 0.0;
+  compute.t1 = 0.5;
+  degenerate.per_rank[0].push_back(compute);
+  mp::TraceEvent marker;
+  marker.kind = mp::EventKind::Compute;
+  marker.rank = 0;
+  marker.t0 = marker.t1 = 0.0;
+  degenerate.per_rank[0].push_back(marker);
+  ASSERT_EQ(degenerate.elapsed(), 0.0);
+  const auto m2 = build_comm_matrix(degenerate, nullptr, 24);
+  EXPECT_EQ(m2.timeline.nbuckets, 1);
+  ASSERT_EQ(m2.timeline.ranks[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(m2.timeline.ranks[0][0].compute, 0.5);
+}
+
 // ------------------------------------------------------------ reports
 
 TEST(RunReport, ProvenanceAttachesLoopClasses) {

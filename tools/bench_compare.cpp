@@ -14,12 +14,18 @@
 // side and string on the other, are skipped with a warning and a
 // summary count instead of failing the gate — sidecars legitimately
 // gain, drop, and retype keys as benches grow.
+//
+// Sidecars embed a "meta." block (build type, engine, machine model,
+// sidecar schema version — see bench_util::record_metadata). When the
+// two sidecars disagree on any meta key, every comparison below it is
+// apples-to-oranges (a Debug build "regresses" ~10x against a Release
+// baseline), so each mismatch prints a loud warning; the gate itself
+// still runs.
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
-#include <set>
 #include <sstream>
 #include <string>
 
@@ -27,11 +33,12 @@ namespace {
 
 /// Parses the flat one-level JSON object the benches emit
 /// ({"key": number-or-string, ...}). String-valued keys land in
-/// `strings` so type mismatches across sidecars can be diagnosed; any
-/// structural surprise returns false.
+/// `strings` with their values so type mismatches across sidecars and
+/// metadata disagreements can be diagnosed; any structural surprise
+/// returns false.
 bool parse_flat_sidecar(const std::string& path,
                         std::map<std::string, double>& out,
-                        std::set<std::string>& strings) {
+                        std::map<std::string, std::string>& strings) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "bench_compare: cannot read '%s'\n", path.c_str());
@@ -70,16 +77,18 @@ bool parse_flat_sidecar(const std::string& path,
     ++i;
     skip_ws();
     if (i < text.size() && text[i] == '"') {
-      // String value: record the key so a numeric twin on the other
-      // side is flagged, skip the content (no escapes beyond \" in
-      // our sidecars).
-      strings.insert(key);
+      // String value: keep it so metadata can be compared and a
+      // numeric twin on the other side flagged (the only escapes in
+      // our sidecars are \" and \\).
+      std::string value;
       ++i;
       while (i < text.size() && text[i] != '"') {
-        if (text[i] == '\\') ++i;
+        if (text[i] == '\\' && i + 1 < text.size()) ++i;
+        value += text[i];
         ++i;
       }
       if (i >= text.size()) return fail("unterminated string value");
+      strings[key] = value;
       ++i;
     } else {
       char* end = nullptr;
@@ -143,9 +152,56 @@ int main(int argc, char** argv) {
   }
 
   std::map<std::string, double> baseline, current;
-  std::set<std::string> baseline_strings, current_strings;
+  std::map<std::string, std::string> baseline_strings, current_strings;
   if (!parse_flat_sidecar(baseline_path, baseline, baseline_strings)) return 2;
   if (!parse_flat_sidecar(current_path, current, current_strings)) return 2;
+
+  // Metadata agreement first: a mismatched build type / engine /
+  // machine model makes every perf delta below meaningless, so say so
+  // before the numbers scroll by. Numeric meta keys (schema version,
+  // seed) are checked the same way.
+  int meta_mismatches = 0;
+  const auto warn_meta = [&](const std::string& key, const std::string& base,
+                             const std::string& cur) {
+    ++meta_mismatches;
+    std::printf(
+        "  WARNING   %-40s baseline '%s' vs current '%s' — comparing "
+        "different configurations\n",
+        key.c_str(), base.c_str(), cur.c_str());
+  };
+  for (const auto& [key, base] : baseline_strings) {
+    if (key.rfind("meta.", 0) != 0) continue;
+    const auto it = current_strings.find(key);
+    if (it == current_strings.end()) {
+      warn_meta(key, base, "(absent)");
+    } else if (it->second != base) {
+      warn_meta(key, base, it->second);
+    }
+  }
+  for (const auto& [key, base] : baseline) {
+    if (key.rfind("meta.", 0) != 0) continue;
+    const auto it = current.find(key);
+    char base_buf[32], cur_buf[32];
+    std::snprintf(base_buf, sizeof base_buf, "%g", base);
+    if (it == current.end()) {
+      warn_meta(key, base_buf, "(absent)");
+    } else if (it->second != base) {
+      std::snprintf(cur_buf, sizeof cur_buf, "%g", it->second);
+      warn_meta(key, base_buf, cur_buf);
+    }
+  }
+  for (const auto& [key, cur] : current_strings) {
+    if (key.rfind("meta.", 0) != 0) continue;
+    if (baseline_strings.count(key) == 0) warn_meta(key, "(absent)", cur);
+  }
+  for (const auto& [key, cur] : current) {
+    if (key.rfind("meta.", 0) != 0) continue;
+    if (baseline.count(key) == 0) {
+      char cur_buf[32];
+      std::snprintf(cur_buf, sizeof cur_buf, "%g", cur);
+      warn_meta(key, "(absent)", cur_buf);
+    }
+  }
 
   int regressions = 0, compared = 0, skipped = 0;
   const auto skip = [&](const char* why, const std::string& key,
@@ -193,7 +249,7 @@ int main(int argc, char** argv) {
 
   std::printf(
       "bench_compare: %d perf key(s) compared, %d skipped with warnings, "
-      "%d regression(s) beyond %.0f%%\n",
-      compared, skipped, regressions, threshold * 100.0);
+      "%d metadata mismatch(es), %d regression(s) beyond %.0f%%\n",
+      compared, skipped, meta_mismatches, regressions, threshold * 100.0);
   return regressions > 0 ? 1 : 0;
 }
