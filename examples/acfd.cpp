@@ -4,7 +4,7 @@
 //        [--strategy min|pairwise|none] [--run] [--analyze]
 //        [--report[=json|text|html]] [--report-out r.json]
 //        [--explain[=text|json]] [--profile] [--metrics-out m.json]
-//        [--faults=SPEC] [--watchdog=SEC]
+//        [--faults=SPEC] [--recovery[=SPEC]] [--watchdog=SEC]
 //        [--plan-from=report.json --plan-out=plan.json] [--plan=plan.json]
 //        [--sweep=spec.json --sweep-out=scaling.json [--sweep-format=FMT]]
 //
@@ -102,6 +102,11 @@ void usage() {
       "  --faults=SPEC      chaos-test the run under a seeded fault plan,\n"
       "                     e.g. seed=7,jitter=0.3:0.05,straggler=1:2\n"
       "                     (see fault::FaultPlan::parse)\n"
+      "  --recovery[=SPEC]  reliable delivery: retransmit dropped or\n"
+      "                     corrupted messages on a virtual-time backoff\n"
+      "                     schedule instead of failing fast. SPEC tunes\n"
+      "                     budget=N,rto=SEC,backoff=MULT,cap=SEC\n"
+      "                     (default budget=8,rto=0.002,backoff=2,cap=0.02)\n"
       "  --watchdog=SEC     virtual-time watchdog deadline for blocked\n"
       "                     communication (default 30; <= 0 disables)\n"
       "  --plan-from F      plan from a prior --report=json file (honors\n"
@@ -136,6 +141,8 @@ int main(int argc, char** argv) {
   bool run = false, analyze_only = false;
   bool explain = false, explain_json = false, profile = false;
   std::string faults_spec;
+  std::string recovery_spec;
+  bool recovery_on = false;
   std::string plan_from_path, plan_out_path, plan_path;
   std::string sweep_spec_path, sweep_out_path, sweep_format_arg;
   bool sweep_format_set = false;
@@ -197,6 +204,11 @@ int main(int argc, char** argv) {
       faults_spec = arg.substr(9);
     } else if (arg == "--faults") {
       faults_spec = next();
+    } else if (arg == "--recovery") {
+      recovery_on = true;
+    } else if (arg.rfind("--recovery=", 0) == 0) {
+      recovery_on = true;
+      recovery_spec = arg.substr(11);
     } else if (arg.rfind("--plan-from=", 0) == 0) {
       plan_from_path = arg.substr(12);
     } else if (arg == "--plan-from") {
@@ -481,6 +493,9 @@ int main(int argc, char** argv) {
       run_opts.watchdog = watchdog;
       run_opts.engine = engine;
       run_opts.profile = want_report;
+      if (recovery_on) {
+        run_opts.recovery = mp::RecoveryConfig::parse(recovery_spec);
+      }
       auto par = program->run(machine, run_opts);
       auto seq_file = fortran::parse_source(source);
       const auto seq = codegen::run_sequential_timed(
@@ -517,6 +532,20 @@ int main(int argc, char** argv) {
                      injector.plan().str().c_str(), fc.delayed, fc.delay_s,
                      fc.dropped, fc.corrupted);
       }
+      if (recovery_on) {
+        long long retransmits = 0, recovered = 0;
+        double recovery_s = 0.0;
+        for (const auto& st : par.cluster.ranks) {
+          retransmits += st.retransmits;
+          recovered += st.recovered;
+          recovery_s += st.recovery_time;
+        }
+        std::fprintf(chat,
+                     "acfd: recovery '%s': %lld retransmit(s), %lld "
+                     "message(s) recovered, %.4f s recovery wait\n",
+                     run_opts.recovery.str().c_str(), retransmits, recovered,
+                     recovery_s);
+      }
       if (!metrics_path.empty()) {
         trace::trace_to_metrics(recorder.trace(), obs.metrics);
         if (!faults_spec.empty()) injector.export_metrics(obs.metrics);
@@ -532,6 +561,7 @@ int main(int argc, char** argv) {
                            ? "bytecode"
                            : "tree";
         ropts.seq_elapsed_s = seq.elapsed;
+        ropts.recovery_enabled = recovery_on;
         const auto report = prof::build_run_report(
             *program, par, recorder.trace(), &obs.provenance, ropts);
         if (!metrics_path.empty()) {
@@ -588,9 +618,10 @@ int main(int argc, char** argv) {
     const auto& info = e.info();
     std::fprintf(stderr,
                  "acfd: communication failure: %s\n"
-                 "acfd:   rank=%d peer=%d tag=%d site=%s virtual_t=%.6f s\n",
+                 "acfd:   rank=%d peer=%d tag=%d site=%s virtual_t=%.6f s "
+                 "attempts=%d\n",
                  e.what(), info.rank, info.peer, info.tag,
-                 info.site_label.c_str(), info.time);
+                 info.site_label.c_str(), info.time, info.attempts);
     return 3;
   } catch (const CompileError& e) {
     std::fprintf(stderr, "acfd: %s\n", e.what());

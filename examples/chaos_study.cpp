@@ -4,9 +4,13 @@
 // fault schedules and asserts the parallel results stay bit-identical
 // to the sequential run; then injects one targeted drop and one
 // targeted corruption and asserts both are *detected* (watchdog
-// timeout with correct attribution, checksum mismatch). Writes a JSON
-// artifact summarizing every run and exits non-zero if any property
-// was violated — the CI chaos smoke job runs exactly this binary.
+// timeout with correct attribution, checksum mismatch); finally runs
+// a recovered-vs-clean differential: the same lossy plans with
+// reliable delivery enabled must complete and produce results
+// bit-identical to the clean run, with every injected fault absorbed
+// by retransmission. Writes a JSON artifact summarizing every run and
+// exits non-zero if any property was violated — the CI chaos smoke
+// job runs exactly this binary.
 //
 //   chaos_study [--seeds=N] [--out=chaos.json] [--grid=NXxNY]
 #include <cstdio>
@@ -32,6 +36,7 @@ struct RunRecord {
   std::string detail;
   double elapsed = 0.0;
   long long delayed = 0, dropped = 0, corrupted = 0;
+  long long retransmits = 0, recovered = 0;
 };
 
 std::string json_escape(const std::string& s) {
@@ -58,6 +63,8 @@ void write_report(const std::string& path,
        << json_escape(r.plan) << "\", \"ok\": " << (r.ok ? "true" : "false")
        << ", \"elapsed_s\": " << r.elapsed << ", \"delayed\": " << r.delayed
        << ", \"dropped\": " << r.dropped << ", \"corrupted\": " << r.corrupted
+       << ", \"retransmits\": " << r.retransmits
+       << ", \"recovered\": " << r.recovered
        << ", \"detail\": \"" << json_escape(r.detail) << "\"}"
        << (i + 1 < records.size() ? "," : "") << "\n";
   }
@@ -241,6 +248,70 @@ int main(int argc, char** argv) {
     std::printf("  %-16s %-6s %s\n", rec.name.c_str(),
                 rec.ok ? "ok" : "FAIL", rec.detail.c_str());
     records.push_back(rec);
+  }
+
+  // Phase 4: recovered-vs-clean differential. The same class of loss
+  // the detection phases fail fast on must be *absorbed* once reliable
+  // delivery is on: under seeded drop+corruption plans the run
+  // completes and its gathered arrays are bit-identical to a clean
+  // (fault-free) run of the same program.
+  {
+    const auto clean = program->run(machine, codegen::SpmdRunOptions{});
+    const int recovery_seeds = seeds < 4 ? seeds : 4;
+    for (int seed = 1; seed <= recovery_seeds; ++seed) {
+      fault::FaultPlan plan;
+      plan.seed = static_cast<std::uint64_t>(100 + seed);
+      plan.drop_prob = 0.05;
+      plan.corrupt_prob = 0.03;
+      fault::FaultInjector injector(plan);
+      codegen::SpmdRunOptions opts;
+      opts.faults = &injector;
+      opts.recovery = mp::RecoveryConfig::parse("default");
+
+      RunRecord rec;
+      rec.name = "recovery-seed-" + std::to_string(100 + seed);
+      rec.plan = plan.str();
+      try {
+        const auto par = program->run(machine, opts);
+        rec.elapsed = par.elapsed;
+        for (const auto& st : par.cluster.ranks) {
+          rec.retransmits += st.retransmits;
+          rec.recovered += st.recovered;
+        }
+        std::string why;
+        rec.ok = bit_identical(par, &why);
+        if (rec.ok) {
+          // Recovery re-sends the pristine payload, so loss must leave
+          // no numerical trace: compare against the clean parallel run
+          // too, element for element.
+          for (const auto& name : dirs.status_arrays) {
+            if (clean.gathered.at(name) != par.gathered.at(name)) {
+              rec.ok = false;
+              why = name + " differs from the clean run";
+              break;
+            }
+          }
+        }
+        const long long faults =
+            injector.counters().dropped + injector.counters().corrupted;
+        if (rec.ok && faults > 0 && rec.recovered == 0) {
+          rec.ok = false;
+          why = "faults were injected but nothing was recovered";
+        }
+        rec.detail =
+            rec.ok ? "recovered run bit-identical to clean run" : why;
+      } catch (const std::exception& e) {
+        rec.detail = std::string("recovery failed: ") + e.what();
+      }
+      rec.dropped = injector.counters().dropped;
+      rec.corrupted = injector.counters().corrupted;
+      std::printf(
+          "  %-16s %-6s dropped=%-3lld corrupted=%-3lld "
+          "retransmits=%-3lld %s\n",
+          rec.name.c_str(), rec.ok ? "ok" : "FAIL", rec.dropped,
+          rec.corrupted, rec.retransmits, rec.detail.c_str());
+      records.push_back(rec);
+    }
   }
 
   bool all_ok = true;

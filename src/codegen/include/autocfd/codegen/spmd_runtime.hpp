@@ -49,6 +49,10 @@ struct SpmdRunOptions {
   /// Watchdog deadline in virtual seconds (<= 0 disables); see
   /// mp::Cluster::set_watchdog.
   double watchdog = mp::Cluster::kDefaultWatchdog;
+  /// Reliable-delivery protocol (ack/retransmit with virtual-time
+  /// backoff); disabled by default — the fail-fast semantics. See
+  /// mp::Cluster::set_recovery.
+  mp::RecoveryConfig recovery{};
   /// Statement executor every rank's interpreter uses.
   interp::EngineKind engine = interp::EngineKind::Bytecode;
   /// Collect a per-rank source-attributed statement profile into

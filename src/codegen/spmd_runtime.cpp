@@ -285,6 +285,7 @@ SpmdRunResult run_spmd(fortran::SourceFile& file, const SpmdMeta& meta,
   cluster.set_event_sink(options.sink);
   cluster.set_fault_hook(options.faults);
   cluster.set_watchdog(options.watchdog);
+  cluster.set_recovery(options.recovery);
   // Wire / collective ids are sync-plan site ids; resolving them
   // through the tag registry gives errors their source attribution.
   cluster.set_tag_labeler([&meta](int id) { return meta.tags.label(id); });

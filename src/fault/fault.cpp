@@ -93,6 +93,39 @@ bool FaultPlan::empty() const {
          stragglers.empty();
 }
 
+namespace {
+
+/// Probability key: must land in [0, 1] to mean anything.
+double parse_prob(const std::string& key, const std::string& text) {
+  const double v = parse_num(key, text);
+  if (v < 0.0 || v > 1.0) {
+    throw std::invalid_argument("fault spec: " + key +
+                                " is a probability and must be in [0, 1], "
+                                "got '" + text + "'");
+  }
+  return v;
+}
+
+int parse_rank(const std::string& key, const std::string& text) {
+  const int v = parse_int(key, text);
+  if (v < 0) {
+    throw std::invalid_argument("fault spec: " + key +
+                                " needs a rank >= 0, got '" + text + "'");
+  }
+  return v;
+}
+
+int parse_tag(const std::string& key, const std::string& text) {
+  const int v = parse_int(key, text);
+  if (v < 0) {
+    throw std::invalid_argument("fault spec: " + key +
+                                " needs a tag >= 0, got '" + text + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlan plan;
   for (const auto& item : split(spec, ',')) {
@@ -111,14 +144,26 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       if (parts.size() != 2) {
         throw std::invalid_argument("fault spec: jitter=PROB:MAX");
       }
-      plan.jitter_prob = parse_num(key, parts[0]);
+      plan.jitter_prob = parse_prob(key, parts[0]);
       plan.jitter_max = parse_num(key, parts[1]);
+      if (plan.jitter_max < 0.0) {
+        throw std::invalid_argument(
+            "fault spec: jitter max delay must be >= 0 seconds, got '" +
+            parts[1] + "'");
+      }
     } else if (key == "straggler") {
       if (parts.size() != 2) {
         throw std::invalid_argument("fault spec: straggler=RANK:FACTOR");
       }
-      plan.stragglers.push_back(
-          Straggler{parse_int(key, parts[0]), parse_num(key, parts[1])});
+      Straggler s;
+      s.rank = parse_rank(key, parts[0]);
+      s.factor = parse_num(key, parts[1]);
+      if (s.factor < 1.0) {
+        throw std::invalid_argument(
+            "fault spec: straggler factor must be >= 1 (it multiplies "
+            "compute time), got '" + parts[1] + "'");
+      }
+      plan.stragglers.push_back(s);
     } else if (key == "window") {
       if (parts.size() < 3 || parts.size() > 5) {
         throw std::invalid_argument(
@@ -128,25 +173,44 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       w.t0 = parse_num(key, parts[0]);
       w.t1 = parse_num(key, parts[1]);
       w.delay = parse_num(key, parts[2]);
-      if (parts.size() > 3) w.src = parse_int(key, parts[3]);
-      if (parts.size() > 4) w.dst = parse_int(key, parts[4]);
+      if (w.t0 < 0.0) {
+        throw std::invalid_argument(
+            "fault spec: window start must be >= 0 virtual seconds, got '" +
+            parts[0] + "'");
+      }
+      if (w.t1 <= w.t0) {
+        throw std::invalid_argument(
+            "fault spec: window [" + parts[0] + ", " + parts[1] +
+            ") is empty — the end must be after the start");
+      }
+      if (w.delay < 0.0) {
+        throw std::invalid_argument(
+            "fault spec: window delay must be >= 0 seconds (a negative "
+            "delay would move messages back in time), got '" + parts[2] +
+            "'");
+      }
+      if (parts.size() > 3) w.src = parse_rank(key, parts[3]);
+      if (parts.size() > 4) w.dst = parse_rank(key, parts[4]);
       plan.windows.push_back(w);
     } else if (key == "drop") {
-      plan.drop_prob = parse_num(key, value);
+      plan.drop_prob = parse_prob(key, value);
     } else if (key == "dropfirst") {
       MessageMatch m;
-      m.tag = parse_int(key, value);
+      m.tag = parse_tag(key, value);
       m.msg_id = 0;
       plan.drops.push_back(m);
     } else if (key == "corrupt") {
-      plan.corrupt_prob = parse_num(key, value);
+      plan.corrupt_prob = parse_prob(key, value);
     } else if (key == "corruptfirst") {
       MessageMatch m;
-      m.tag = parse_int(key, value);
+      m.tag = parse_tag(key, value);
       m.msg_id = 0;
       plan.corruptions.push_back(m);
     } else {
-      throw std::invalid_argument("fault spec: unknown key '" + key + "'");
+      throw std::invalid_argument(
+          "fault spec: unknown fault kind '" + key +
+          "' (known: seed, jitter, straggler, window, drop, dropfirst, "
+          "corrupt, corruptfirst)");
     }
   }
   return plan;

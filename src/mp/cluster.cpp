@@ -20,9 +20,28 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::FaultDrop: return "fault.drop";
     case EventKind::FaultCorrupt: return "fault.corrupt";
     case EventKind::Timeout: return "timeout";
+    case EventKind::Retransmit: return "retransmit";
   }
   return "?";
 }
+
+namespace {
+
+/// Wire id handed to the fault hook for retransmission `attempt` of
+/// logical message `msg_id`: distinct per attempt (so a retransmit
+/// draws a fresh, independent fault decision instead of repeating the
+/// original's forever) yet a pure function of the logical identity (so
+/// schedules stay deterministic and independent of unrelated traffic).
+/// The base keeps retransmit ids clear of ordinary channel sequence
+/// numbers, which targeted fault matchers (msg_id=0 etc.) select on.
+constexpr long long kRetransmitIdBase = 1LL << 40;
+constexpr long long kRetransmitAttemptStride = 1LL << 16;
+
+long long retransmit_wire_id(long long msg_id, int attempt) {
+  return kRetransmitIdBase + msg_id * kRetransmitAttemptStride + attempt;
+}
+
+}  // namespace
 
 int Comm::size() const { return cluster_->size(); }
 const MachineConfig& Comm::config() const { return cluster_->config(); }
@@ -163,6 +182,20 @@ void Cluster::maybe_trip_watchdog() {
                       [&](const Message& m) { return m.tag == op.tag; })) {
         return;  // a matching message is queued: the rank is waking up
       }
+      // A dropped message with a live retransmit buffer entry is
+      // *progress*, not a hang: the receiver will drive recovery as
+      // soon as it wakes on the pending entry. Only an exhausted
+      // budget (recv_recover throwing) makes this rank truly stuck.
+      if (recovery_.enabled) {
+        const auto pit = pending_.find({op.peer, r});
+        if (pit != pending_.end() &&
+            std::any_of(pit->second.begin(), pit->second.end(),
+                        [&](const PendingEntry& p) {
+                          return p.tag == op.tag && !p.in_channel;
+                        })) {
+          return;
+        }
+      }
     }
     const double deadline = op.entry + watchdog_;
     const bool p2p = !op.collective;
@@ -239,6 +272,7 @@ Cluster::RunResult Cluster::run(const std::function<void(Comm&)>& fn) {
     std::lock_guard lock(mu_);
     channels_.clear();
     channel_seq_.clear();
+    pending_.clear();
     clocks_.assign(static_cast<std::size_t>(nprocs_), 0.0);
     stats_.assign(static_cast<std::size_t>(nprocs_), RankStats{});
     coll_arrived_ = 0;
@@ -291,6 +325,25 @@ Cluster::RunResult Cluster::run(const std::function<void(Comm&)>& fn) {
         e.n_messages = msg.n_messages;
         e.msg_id = msg.msg_id;
         e.t0 = e.t1 = e.arrival = msg.arrival_time;
+        emit(e);
+      }
+    }
+    // Dropped messages awaiting a retransmit nobody drove (recovery
+    // enabled, receiver never asked): logically sent, never received.
+    // Entries whose original still sits in a channel were reported by
+    // the loop above already.
+    for (const auto& [route, entries] : pending_) {
+      for (const auto& entry : entries) {
+        if (entry.in_channel) continue;
+        TraceEvent e;
+        e.kind = EventKind::Unreceived;
+        e.rank = route.first;
+        e.peer = route.second;
+        e.tag = entry.tag;
+        e.bytes = entry.bytes;
+        e.n_messages = entry.n_messages;
+        e.msg_id = entry.msg_id;
+        e.t0 = e.t1 = e.arrival = entry.original_arrival;
         emit(e);
       }
     }
@@ -354,11 +407,32 @@ void Cluster::send_impl(int src, int dst, int tag, std::vector<double> data,
   // Integrity checksum taken before the fault hook may touch the
   // payload: the receiver recomputes and compares.
   const std::uint64_t checksum = payload_checksum(data);
+  // Reliable delivery retains the pristine payload before the hook can
+  // mutate it; the copy is kept only if this attempt actually fails.
+  std::vector<double> pristine;
+  if (recovery_.enabled && fault_ != nullptr) pristine = data;
   FaultDecision fd;
   if (fault_ != nullptr) {
     fd = fault_->on_message(src, dst, tag, msg_id, bytes, clock, data);
   }
   const double arrival = clock + fd.extra_delay;
+  if (recovery_.enabled && (fd.drop || fd.corrupted)) {
+    // Transport-layer retransmit buffer: the receiver replays this
+    // logical message from the pristine payload (same checksum as the
+    // original) when the attempt in flight turns out lost or damaged.
+    PendingEntry entry;
+    entry.tag = tag;
+    entry.pristine = std::move(pristine);
+    entry.departure = clock;
+    entry.transfer = cost;
+    entry.original_arrival = arrival;
+    entry.msg_id = msg_id;
+    entry.n_messages = n_messages;
+    entry.bytes = bytes;
+    entry.checksum = checksum;
+    entry.in_channel = !fd.drop;
+    pending_[{src, dst}].push_back(std::move(entry));
+  }
   if (sink_ != nullptr) {
     TraceEvent e;
     e.kind = EventKind::Send;
@@ -397,20 +471,33 @@ std::vector<double> Cluster::recv_impl(int dst, int src, int tag) {
   }
   std::unique_lock lock(mu_);
   auto& queue = channels_[{src, dst}];
+  auto& pending = pending_[{src, dst}];
   // MPI semantics: match the first message with this tag (FIFO per
   // (source, tag) pair), skipping messages with other tags.
   const auto find_match = [&] {
     return std::find_if(queue.begin(), queue.end(),
                         [tag](const Message& m) { return m.tag == tag; });
   };
+  // With recovery enabled, a logical message whose original attempt
+  // was dropped lives only in the retransmit buffer: it matches this
+  // receive too. FIFO order is kept by logical id — the per-channel
+  // sequence number the original attempt consumed.
+  const auto find_pending_dropped = [&] {
+    if (!recovery_.enabled) return pending.end();
+    return std::find_if(pending.begin(), pending.end(),
+                        [tag](const PendingEntry& p) {
+                          return p.tag == tag && !p.in_channel;
+                        });
+  };
   auto match = find_match();
-  if (match == queue.end() && abort_) {
+  auto dropped = find_pending_dropped();
+  if (match == queue.end() && dropped == pending.end() && abort_) {
     BlockedOp op;
     op.peer = src;
     op.tag = tag;
     throw_released(dst, op);
   }
-  if (match == queue.end()) {
+  if (match == queue.end() && dropped == pending.end()) {
     auto& op = blocked_ops_[static_cast<std::size_t>(dst)];
     op.active = true;
     op.collective = false;
@@ -422,17 +509,45 @@ std::vector<double> Cluster::recv_impl(int dst, int src, int tag) {
     maybe_trip_watchdog();
     cv_.wait(lock, [&] {
       match = find_match();
-      return match != queue.end() || abort_;
+      dropped = find_pending_dropped();
+      return match != queue.end() || dropped != pending.end() || abort_;
     });
     --blocked_;
     const BlockedOp released = op;
     op.active = false;
-    if (match == queue.end()) throw_released(dst, released);
+    if (match == queue.end() && dropped == pending.end()) {
+      throw_released(dst, released);
+    }
   }
+
+  // The earliest logical message with this tag wins, whether its
+  // original attempt reached the channel or evaporated in flight.
+  if (dropped != pending.end() &&
+      (match == queue.end() || dropped->msg_id < match->msg_id)) {
+    PendingEntry entry = std::move(*dropped);
+    pending.erase(dropped);
+    return recv_recover(dst, src, std::move(entry),
+                        /*original_corrupt=*/false);
+  }
+
   const bool fifo_skip = match != queue.begin();
   Message msg = std::move(*match);
   queue.erase(match);
   if (payload_checksum(msg.data) != msg.checksum) {
+    if (recovery_.enabled) {
+      // NACK path: the attempt arrived damaged; replay it from the
+      // sender's retained pristine payload under the same checksum.
+      const auto pit = std::find_if(pending.begin(), pending.end(),
+                                    [&](const PendingEntry& p) {
+                                      return p.msg_id == msg.msg_id;
+                                    });
+      if (pit != pending.end()) {
+        PendingEntry entry = std::move(*pit);
+        pending.erase(pit);
+        return recv_recover(dst, src, std::move(entry),
+                            /*original_corrupt=*/true);
+      }
+    }
     CommErrorInfo info;
     info.rank = dst;
     info.peer = src;
@@ -472,6 +587,133 @@ std::vector<double> Cluster::recv_impl(int dst, int src, int tag) {
     emit(e);
   }
   return std::move(msg.data);
+}
+
+std::vector<double> Cluster::recv_recover(int dst, int src,
+                                          PendingEntry entry,
+                                          bool original_corrupt) {
+  // Requires mu_. The receiver drives the whole retry loop in virtual
+  // time under the lock: retransmission k departs backoff_interval(k)
+  // after attempt k-1 (timer-driven, like a transport-layer RTO — no
+  // modeled NACK round trip) and each attempt draws a fresh,
+  // deterministic fault decision under a per-attempt wire id. The
+  // payload replayed is the sender's pristine copy, so a delivered
+  // retransmission verifies against the *original* checksum and the
+  // program's results stay bit-identical to a clean run.
+  auto& st = stats_[static_cast<std::size_t>(dst)];
+  auto& clock = clocks_[static_cast<std::size_t>(dst)];
+  const double before = clock;
+  double depart = entry.departure;
+  bool last_corrupt = original_corrupt;
+  double last_arrival = entry.original_arrival;
+  int attempts = 1;  // the original wire attempt
+
+  const auto mark = [&](EventKind kind, double t, double wait,
+                        double arrival, int attempt) {
+    if (sink_ == nullptr) return;
+    TraceEvent e;
+    e.kind = kind;
+    e.rank = dst;  // receiver stream: deterministic in program order
+    e.peer = src;
+    e.tag = entry.tag;
+    e.bytes = entry.bytes;
+    e.n_messages = entry.n_messages;
+    e.msg_id = entry.msg_id;
+    e.t0 = e.t1 = t;
+    e.wait = wait;
+    e.arrival = arrival;
+    e.attempts = attempt;
+    emit(e);
+  };
+
+  for (int k = 1; k <= recovery_.budget; ++k) {
+    depart += recovery_.backoff_interval(k);
+    std::vector<double> wire = entry.pristine;
+    FaultDecision fd;
+    if (fault_ != nullptr) {
+      fd = fault_->on_message(src, dst, entry.tag,
+                              retransmit_wire_id(entry.msg_id, k),
+                              entry.bytes, depart, wire);
+    }
+    ++attempts;
+    ++st.retransmits;
+    const double arrival = depart + entry.transfer + fd.extra_delay;
+    mark(EventKind::Retransmit, depart, recovery_.backoff_interval(k),
+         arrival, k);
+    // Keep the trace-derived fault.* counters equal to the injector's
+    // own: retransmitted attempts can fail again, and those decisions
+    // are reported just like first-attempt ones (on this stream).
+    if (fd.extra_delay > 0.0) {
+      mark(EventKind::FaultDelay, depart, fd.extra_delay, arrival, k);
+    }
+    if (fd.corrupted) mark(EventKind::FaultCorrupt, depart, 0.0, arrival, k);
+    if (fd.drop) mark(EventKind::FaultDrop, depart, 0.0, arrival, k);
+    if (!fd.drop && payload_checksum(wire) == entry.checksum) {
+      // Delivered under the original checksum. The extra idle past the
+      // arrival the first attempt would have had is recovery time — a
+      // sub-account of wait, so total accounting is unchanged.
+      clock = std::max(clock, arrival);
+      const double wait = clock - before;
+      const double recovery =
+          clock - std::max(before, entry.original_arrival);
+      st.comm_time += wait;
+      st.wait_time += wait;
+      st.recovery_time += std::max(recovery, 0.0);
+      st.messages_received += entry.n_messages;
+      st.bytes_received += entry.bytes;
+      st.recovered += 1;
+      if (sink_ != nullptr) {
+        TraceEvent e;
+        e.kind = EventKind::Recv;
+        e.rank = dst;
+        e.t0 = before;
+        e.t1 = clock;
+        e.peer = src;
+        e.tag = entry.tag;
+        e.bytes = entry.bytes;
+        e.n_messages = entry.n_messages;
+        e.msg_id = entry.msg_id;
+        e.arrival = arrival;
+        e.wait = wait;
+        e.recovery = std::max(recovery, 0.0);
+        e.attempts = attempts;
+        emit(e);
+      }
+      cv_.notify_all();
+      return wire;
+    }
+    last_corrupt = !fd.drop;
+    last_arrival = arrival;
+  }
+
+  // Budget exhausted: degrade into the fail-fast error the protocol
+  // would have thrown on the first failure, with attempts attached.
+  CommErrorInfo info;
+  info.rank = dst;
+  info.peer = src;
+  info.tag = entry.tag;
+  info.time = last_arrival;
+  info.attempts = attempts;
+  info.site_label = label_of(entry.tag);
+  const std::string identity =
+      "message rank " + std::to_string(src) + " -> " + std::to_string(dst) +
+      " tag " + std::to_string(entry.tag) + " (" +
+      std::to_string(entry.bytes) + " B, msg " +
+      std::to_string(entry.msg_id) + ")";
+  if (last_corrupt) {
+    throw CommChecksumError(
+        "checksum mismatch: " + identity + " still corrupted after " +
+            std::to_string(attempts) + " attempts (retry budget " +
+            std::to_string(recovery_.budget) + " exhausted) at " +
+            info.site_label,
+        info);
+  }
+  throw CommTimeoutError(
+      "retry budget exhausted: " + identity + " lost " +
+          std::to_string(attempts) + " times (budget " +
+          std::to_string(recovery_.budget) + ") at " + info.site_label +
+          ", giving up at virtual time " + std::to_string(last_arrival),
+      info);
 }
 
 double Cluster::allreduce_impl(int rank, double value, bool is_max,

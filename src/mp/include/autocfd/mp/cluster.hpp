@@ -23,6 +23,7 @@
 #include "autocfd/mp/events.hpp"
 #include "autocfd/mp/fault_hook.hpp"
 #include "autocfd/mp/machine.hpp"
+#include "autocfd/mp/recovery.hpp"
 
 namespace autocfd::mp {
 
@@ -36,11 +37,22 @@ struct RankStats {
   /// message arrived, or blocked in a collective before the slowest
   /// rank entered. comm_time - wait_time is transfer cost.
   double wait_time = 0.0;
+  /// Portion of wait_time spent recovering lost or corrupted messages
+  /// (reliable delivery enabled): idle past the arrival the original
+  /// attempt would have had. A sub-account of wait_time, so
+  /// compute + (comm - wait) + wait still totals the rank's clock.
+  double recovery_time = 0.0;
   long long messages_sent = 0;
   long long bytes_sent = 0;
   long long messages_received = 0;
   long long bytes_received = 0;
   long long collectives = 0;
+  /// Wire retransmissions this rank *drove* as a receiver (recovery
+  /// runs receiver-side; retransmits are not counted in
+  /// messages_sent/bytes_sent, which stay sender-attempt accounting).
+  long long retransmits = 0;
+  /// Messages this rank received only after at least one retransmit.
+  long long recovered = 0;
 
   [[nodiscard]] double total_time() const { return compute_time + comm_time; }
 };
@@ -108,6 +120,16 @@ class Cluster {
   /// back into the cluster. See autocfd/mp/fault_hook.hpp.
   void set_fault_hook(FaultHook* hook) { fault_ = hook; }
 
+  /// Reliable-delivery protocol for subsequent run() calls. Disabled
+  /// (the default) keeps the fail-fast semantics: a dropped message
+  /// eventually trips the watchdog and a corrupted one throws
+  /// CommChecksumError on first receipt. Enabled, the receiver drives
+  /// checksum-verified retransmissions from the sender's retained
+  /// pristine payload on an exponential-backoff schedule, and those
+  /// errors fire only once the per-message retry budget is exhausted.
+  void set_recovery(const RecoveryConfig& recovery) { recovery_ = recovery; }
+  [[nodiscard]] const RecoveryConfig& recovery() const { return recovery_; }
+
   /// Watchdog deadline in *virtual* seconds. The simulator detects a
   /// hang exactly (every live rank blocked on an operation no other
   /// rank can ever complete) with no real-time timers; the deadline
@@ -161,6 +183,25 @@ class Cluster {
     std::uint64_t checksum;  // taken before fault corruption
   };
 
+  /// Retransmit buffer entry (recovery enabled): the sender's
+  /// transport layer retains every logical message — pristine payload,
+  /// original checksum, departure and transfer cost — until its
+  /// receiver verified delivery. The *receiver* drives the retry loop
+  /// in deterministic virtual time; see recv_recover in cluster.cpp.
+  struct PendingEntry {
+    int tag = -1;
+    std::vector<double> pristine;  // payload before any corruption
+    double departure = 0.0;        // sender clock at send completion
+    double transfer = 0.0;         // cost one wire attempt takes
+    double original_arrival = 0.0; // when the first attempt (would have)
+                                   // arrived — the recovery baseline
+    long long msg_id = -1;         // logical id (the original wire id)
+    long long n_messages = 1;
+    long long bytes = 0;
+    std::uint64_t checksum = 0;    // of the pristine payload
+    bool in_channel = false;  // original attempt sits in channels_
+  };
+
   /// What a rank is currently blocked on (watchdog bookkeeping).
   struct BlockedOp {
     bool active = false;
@@ -177,6 +218,14 @@ class Cluster {
   void send_impl(int src, int dst, int tag, std::vector<double> data,
                  long long n_messages);
   std::vector<double> recv_impl(int dst, int src, int tag);
+  /// Requires the lock. Drives the retransmission loop for pending
+  /// logical message `entry` of channel (src, dst): replays wire
+  /// attempts on the backoff schedule until one arrives with the
+  /// original checksum intact (returns the delivered payload, fully
+  /// accounted on the receiver) or the budget runs out (then throws
+  /// CommChecksumError / CommTimeoutError carrying the attempt count).
+  std::vector<double> recv_recover(int dst, int src, PendingEntry entry,
+                                   bool original_corrupt);
   double allreduce_impl(int rank, double value, bool is_max,
                         EventKind kind, int site);
   void barrier_impl(int rank, int site);
@@ -195,6 +244,7 @@ class Cluster {
   MachineConfig config_;
   EventSink* sink_ = nullptr;
   FaultHook* fault_ = nullptr;
+  RecoveryConfig recovery_;
   double watchdog_ = kDefaultWatchdog;
   std::function<std::string(int)> labeler_;
 
@@ -204,6 +254,9 @@ class Cluster {
   std::map<std::pair<int, int>, std::deque<Message>> channels_;
   // (src, dst) -> count of messages ever pushed (msg_id source).
   std::map<std::pair<int, int>, long long> channel_seq_;
+  // (src, dst) -> logical messages awaiting verified delivery, in
+  // logical (msg_id) order. Only populated with recovery enabled.
+  std::map<std::pair<int, int>, std::deque<PendingEntry>> pending_;
   std::vector<double> clocks_;
   std::vector<RankStats> stats_;
 

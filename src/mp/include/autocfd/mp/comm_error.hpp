@@ -21,6 +21,9 @@ struct CommErrorInfo {
   int tag = -1;    // wire tag (-1 for collectives)
   int site = -1;   // sync-plan site of a collective (-1 otherwise)
   double time = 0.0;  // virtual time the failure was declared at
+  /// Wire attempts made before the failure was declared: 1 without
+  /// recovery, 1 + retransmissions when a retry budget was exhausted.
+  int attempts = 1;
   /// Resolved sync-plan site label ("halo s3 dim 0", "tag 7", ...)
   /// when the cluster has a tag labeler installed.
   std::string site_label;

@@ -27,6 +27,11 @@ enum class EventKind {
   FaultDrop,     // message silently discarded by the fault hook
   FaultCorrupt,  // payload mutated in flight (checksum will catch it)
   Timeout,       // watchdog declared a blocked operation dead
+  /// Recovery: one wire retransmission of a lost or corrupted message
+  /// (zero-width marker on the *receiver's* stream, since the receiver
+  /// drives the retry loop; `wait` carries the backoff interval that
+  /// preceded it, t0/t1 the virtual departure of the retransmission).
+  Retransmit,
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind);
@@ -59,6 +64,16 @@ struct TraceEvent {
   /// different tags on the same channel (legal MPI, but a smell in
   /// generated halo-exchange code).
   bool fifo_skip = false;
+
+  // Recovery decomposition (reliable-delivery protocol; see
+  // autocfd/mp/recovery.hpp).
+  /// Recv: portion of `wait` attributable to retransmissions — the
+  /// extra idle time past the arrival the original attempt would have
+  /// had. Always a sub-account of `wait`, never in addition to it.
+  double recovery = 0.0;
+  /// Recv: wire attempts the delivery consumed (1 = first try, no
+  /// recovery). Retransmit: the 1-based retransmission number.
+  int attempts = 1;
 
   /// Collective generation, shared by all ranks of one rendezvous.
   long long coll_seq = -1;

@@ -1,0 +1,51 @@
+// Reliable-delivery configuration of the simulated cluster.
+//
+// With recovery enabled the cluster turns the fail-fast fault handling
+// of the hardened runtime (drop -> watchdog timeout, corruption ->
+// checksum error) into a self-healing protocol: every point-to-point
+// message is retained by the sender's transport layer until its
+// receiver has verified the checksum, and a dropped or corrupted
+// attempt is retransmitted from the pristine payload — under the same
+// checksum as the original — on a timer-driven exponential backoff
+// schedule in deterministic virtual time. Only when a message's retry
+// budget is exhausted does the original error fire, now carrying the
+// attempt count. See DESIGN.md §16 for the protocol.
+#pragma once
+
+#include <string>
+
+namespace autocfd::mp {
+
+/// Knobs of the ack/retransmit protocol. Disabled by default: the
+/// cluster then behaves exactly as the fail-fast hardened runtime.
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Initial retransmit timeout (virtual seconds): the first
+  /// retransmission of a message departs rto after the original.
+  double rto = 2e-3;
+  /// Exponential backoff multiplier applied per attempt: attempt k
+  /// departs min(rto * backoff^(k-1), max_backoff) after attempt k-1.
+  double backoff = 2.0;
+  /// Cap on the per-attempt backoff interval (virtual seconds).
+  double max_backoff = 20e-3;
+  /// Maximum retransmissions per logical message (the original attempt
+  /// is not counted). Exhausting the budget degrades gracefully into
+  /// CommTimeoutError (last attempt dropped) or CommChecksumError
+  /// (last attempt corrupted) with the attempt count attached.
+  int budget = 8;
+
+  /// Backoff interval preceding retransmission `attempt` (1-based).
+  [[nodiscard]] double backoff_interval(int attempt) const;
+
+  /// Parses a comma-separated spec, e.g. "budget=8,rto=0.002,
+  /// backoff=2,cap=0.02". Every key is optional (missing keys keep
+  /// their defaults); an empty spec enables recovery with defaults.
+  /// Throws std::invalid_argument with an actionable diagnostic on
+  /// unknown keys or out-of-range values. The returned config has
+  /// enabled == true.
+  [[nodiscard]] static RecoveryConfig parse(const std::string& spec);
+  /// Round-trippable spec string ("budget=8,rto=0.002,...").
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace autocfd::mp

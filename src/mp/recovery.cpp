@@ -1,0 +1,109 @@
+#include "autocfd/mp/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace autocfd::mp {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+double parse_num(const std::string& key, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("recovery spec: bad number '" + text +
+                                "' for key '" + key + "'");
+  }
+}
+
+}  // namespace
+
+double RecoveryConfig::backoff_interval(int attempt) const {
+  double interval = rto;
+  for (int k = 1; k < attempt; ++k) {
+    interval *= backoff;
+    if (interval >= max_backoff) break;
+  }
+  return std::min(interval, max_backoff);
+}
+
+RecoveryConfig RecoveryConfig::parse(const std::string& spec) {
+  RecoveryConfig rc;
+  rc.enabled = true;
+  if (spec == "default") return rc;  // "recovery on, stock knobs"
+  for (const auto& item : split(spec, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(
+          "recovery spec: expected key=value, got '" + item +
+          "' (keys: budget, rto, backoff, cap)");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "budget") {
+      const double v = parse_num(key, value);
+      if (v != std::floor(v) || v < 1.0) {
+        throw std::invalid_argument(
+            "recovery spec: budget needs an integer >= 1, got '" + value +
+            "'");
+      }
+      rc.budget = static_cast<int>(v);
+    } else if (key == "rto") {
+      rc.rto = parse_num(key, value);
+      if (rc.rto <= 0.0) {
+        throw std::invalid_argument(
+            "recovery spec: rto must be > 0 virtual seconds, got '" + value +
+            "'");
+      }
+    } else if (key == "backoff") {
+      rc.backoff = parse_num(key, value);
+      if (rc.backoff < 1.0) {
+        throw std::invalid_argument(
+            "recovery spec: backoff multiplier must be >= 1, got '" + value +
+            "'");
+      }
+    } else if (key == "cap") {
+      rc.max_backoff = parse_num(key, value);
+      if (rc.max_backoff <= 0.0) {
+        throw std::invalid_argument(
+            "recovery spec: cap must be > 0 virtual seconds, got '" + value +
+            "'");
+      }
+    } else {
+      throw std::invalid_argument("recovery spec: unknown key '" + key +
+                                  "' (keys: budget, rto, backoff, cap)");
+    }
+  }
+  return rc;
+}
+
+std::string RecoveryConfig::str() const {
+  std::ostringstream os;
+  os << "budget=" << budget << ",rto=" << rto << ",backoff=" << backoff
+     << ",cap=" << max_backoff;
+  return os.str();
+}
+
+}  // namespace autocfd::mp

@@ -84,6 +84,7 @@ CommMatrix build_comm_matrix(const trace::Trace& trace,
           cell.recv_messages += n;
           cell.recv_bytes += e.bytes;
           cell.wait_s += e.wait;
+          cell.recovery_s += e.recovery;
           totals.messages_received += n;
           totals.bytes_received += e.bytes;
           spread(out.timeline, r, e.t0, e.t0 + e.wait, &TimelineCell::wait);
@@ -100,6 +101,11 @@ CommMatrix build_comm_matrix(const trace::Trace& trace,
           spread(out.timeline, r, e.arrival, e.t1, &TimelineCell::transfer);
           break;
         }
+        case mp::EventKind::Retransmit:
+          // Receiver-driven: attributed to the (peer -> rank) edge the
+          // recovery runs on; the recovered Recv carries the time.
+          cells[{e.peer, e.rank, e.tag}].retransmits += 1;
+          break;
         case mp::EventKind::Unreceived:
         case mp::EventKind::FaultDelay:
         case mp::EventKind::FaultDrop:

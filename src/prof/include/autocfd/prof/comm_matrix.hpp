@@ -32,6 +32,11 @@ struct CommCell {
   long long recv_bytes = 0;
   double transfer_s = 0.0;  // sender clock spent pushing the messages
   double wait_s = 0.0;      // receiver clock spent idle before arrival
+  /// Reliable-delivery recovery on this edge: wire retransmissions
+  /// driven by the receiver, and the portion of wait_s they account
+  /// for (sub-account of wait_s, reconciling with RankStats).
+  long long retransmits = 0;
+  double recovery_s = 0.0;
 };
 
 /// All tags of one (src, dst) pair folded together.

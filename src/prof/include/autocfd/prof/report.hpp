@@ -23,8 +23,10 @@ namespace autocfd::prof {
 /// is added, removed, or changes meaning; consumers (the planner)
 /// refuse reports from another version instead of misreading them.
 /// History: 1 = PR5's unversioned layout; 2 adds schema_version itself
-/// and the compile-block "strategy".
-inline constexpr int kRunReportSchemaVersion = 2;
+/// and the compile-block "strategy"; 3 adds reliable-delivery recovery
+/// accounting (recovery_s on ranks/cells/sites, retransmits on cells,
+/// and the top-level "recovery" block).
+inline constexpr int kRunReportSchemaVersion = 3;
 
 /// One sync-plan site's end-to-end communication bill, joining the
 /// TagRegistry entry with the traffic the trace attributed to it and
@@ -37,7 +39,20 @@ struct SiteCost {
   long long bytes = 0;
   double wait_s = 0.0;
   double cost_s = 0.0;  // send transfer (p2p) or tree cost (collective)
+  /// Recovery wait attributed to this site's edges (sub-account of
+  /// wait_s; nonzero only under reliable delivery with faults).
+  double recovery_s = 0.0;
   std::string why;      // CombineMerge rationale when one matches
+};
+
+/// Reliable-delivery rollup of the run: trace-derived, reconciling
+/// exactly with the runtime's RankStats counters (all zero when
+/// recovery was off or no fault ever fired).
+struct RecoverySummary {
+  bool enabled = false;    // protocol was on for this run
+  long long retransmits = 0;  // wire retransmissions driven
+  long long recovered = 0;    // messages delivered after >= 1 retry
+  double recovery_s = 0.0;    // summed recovery wait across ranks
 };
 
 struct RunReport {
@@ -56,6 +71,7 @@ struct RunReport {
   SourceProfile profile;
   CommMatrix comm;
   std::vector<SiteCost> sites;                // sorted by site id
+  RecoverySummary recovery;                   // reliable-delivery rollup
 
   [[nodiscard]] std::optional<double> speedup() const {
     if (!seq_elapsed_s || elapsed_s <= 0.0) return std::nullopt;
@@ -68,6 +84,9 @@ struct ReportOptions {
   std::string engine;
   std::optional<double> seq_elapsed_s;
   int timeline_buckets = 24;
+  /// The run executed with the reliable-delivery protocol on; the
+  /// report then includes the recovery rollup even if no fault fired.
+  bool recovery_enabled = false;
 };
 
 /// Joins a finished run: the program (compile report, tags,

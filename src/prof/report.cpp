@@ -67,6 +67,7 @@ RunReport build_run_report(const core::ParallelProgram& program,
       cost.bytes += cell.bytes;
       cost.wait_s += cell.wait_s;
       cost.cost_s += cell.transfer_s;
+      cost.recovery_s += cell.recovery_s;
     }
     for (const auto& coll : report.comm.collectives) {
       if (coll.site != cost.site) continue;
@@ -79,6 +80,19 @@ RunReport build_run_report(const core::ParallelProgram& program,
       cost.why = merges[static_cast<std::size_t>(site.ordinal)]->rationale;
     }
     report.sites.push_back(std::move(cost));
+  }
+
+  // Reliable-delivery rollup, derived from the same trace the rest of
+  // the report uses so it reconciles exactly with the cells and ranks.
+  report.recovery.enabled = options.recovery_enabled;
+  for (const auto& b : report.ranks) report.recovery.recovery_s += b.recovery;
+  for (int r = 0; r < trace.nranks; ++r) {
+    for (const auto& e : trace.per_rank[static_cast<std::size_t>(r)]) {
+      if (e.kind == mp::EventKind::Retransmit) ++report.recovery.retransmits;
+      if (e.kind == mp::EventKind::Recv && e.attempts > 1) {
+        ++report.recovery.recovered;
+      }
+    }
   }
   return report;
 }
@@ -127,6 +141,7 @@ void write_report_json(const RunReport& report, std::ostream& os) {
     os << "{\"rank\": " << r << ", \"compute_s\": " << json_number(b.compute)
        << ", \"transfer_s\": " << json_number(b.transfer)
        << ", \"wait_s\": " << json_number(b.wait)
+       << ", \"recovery_s\": " << json_number(b.recovery)
        << ", \"total_s\": " << json_number(b.total()) << "}";
   }
   os << "],\n";
@@ -175,7 +190,9 @@ void write_report_json(const RunReport& report, std::ostream& os) {
        << ", \"recv_messages\": " << cell.recv_messages
        << ", \"recv_bytes\": " << cell.recv_bytes
        << ", \"transfer_s\": " << json_number(cell.transfer_s)
-       << ", \"wait_s\": " << json_number(cell.wait_s) << "}";
+       << ", \"wait_s\": " << json_number(cell.wait_s)
+       << ", \"retransmits\": " << cell.retransmits
+       << ", \"recovery_s\": " << json_number(cell.recovery_s) << "}";
   }
   os << "],\n    \"neighbors\": [";
   for (std::size_t i = 0; i < m.neighbors.size(); ++i) {
@@ -220,6 +237,12 @@ void write_report_json(const RunReport& report, std::ostream& os) {
   }
   os << "]}\n  },\n";
 
+  const auto& rec = report.recovery;
+  os << "  \"recovery\": {\"enabled\": " << (rec.enabled ? "true" : "false")
+     << ", \"retransmits\": " << rec.retransmits
+     << ", \"recovered\": " << rec.recovered
+     << ", \"recovery_s\": " << json_number(rec.recovery_s) << "},\n";
+
   os << "  \"sites\": [";
   for (std::size_t i = 0; i < report.sites.size(); ++i) {
     const auto& s = report.sites[i];
@@ -228,7 +251,8 @@ void write_report_json(const RunReport& report, std::ostream& os) {
        << "\", \"kind\": \"" << s.kind << "\", \"messages\": " << s.messages
        << ", \"bytes\": " << s.bytes
        << ", \"wait_s\": " << json_number(s.wait_s)
-       << ", \"cost_s\": " << json_number(s.cost_s) << ", \"why\": \""
+       << ", \"cost_s\": " << json_number(s.cost_s)
+       << ", \"recovery_s\": " << json_number(s.recovery_s) << ", \"why\": \""
        << json_escape(s.why) << "\"}";
   }
   os << "]\n}\n";
@@ -296,6 +320,11 @@ void write_report_text(const RunReport& report, std::ostream& os) {
      << " pipelined), syncs " << c.syncs_before << " -> " << c.syncs_after
      << " (" << fmt_percent(c.optimization_percent / 100.0)
      << " optimized away)\n";
+  if (report.recovery.enabled) {
+    os << "recovery: " << report.recovery.retransmits << " retransmits, "
+       << report.recovery.recovered << " messages recovered, "
+       << fmt_seconds(report.recovery.recovery_s) << " recovery wait\n";
+  }
 
   os << "\n--- hot spots (attributed compute over all ranks) ---\n";
   const auto hot = report.profile.hottest(10);
@@ -315,6 +344,9 @@ void write_report_text(const RunReport& report, std::ostream& os) {
     os << "  rank " << r << ": " << fmt_seconds(b.compute) << " / "
        << fmt_seconds(b.transfer) << " / " << fmt_seconds(b.wait)
        << "  = " << fmt_seconds(b.total());
+    if (b.recovery > 0.0) {
+      os << "  (recovery " << fmt_seconds(b.recovery) << ")";
+    }
     if (r < report.comm.timeline.ranks.size()) {
       os << "  |";
       for (const auto& cell : report.comm.timeline.ranks[r]) {
@@ -400,6 +432,12 @@ void write_report_html(const RunReport& report, std::ostream& os) {
      << c.dependence_pairs << " dependence pairs, " << c.self_dependent_loops
      << " self-dependent, syncs " << c.syncs_before << " &rarr; "
      << c.syncs_after << "</p>\n";
+  if (report.recovery.enabled) {
+    os << "<p>recovery: <b>" << report.recovery.retransmits
+       << "</b> retransmits, <b>" << report.recovery.recovered
+       << "</b> messages recovered, <b>"
+       << fmt_seconds(report.recovery.recovery_s) << "</b> recovery wait</p>\n";
+  }
 
   os << "<h2>Hot spots</h2>\n<table><tr><th class=\"l\">source</th>"
         "<th class=\"l\">class</th><th>time</th><th>share</th>"

@@ -27,7 +27,10 @@ namespace autocfd::sweep {
 /// Version stamp of the scaling-report JSON schema. Bump whenever a
 /// field is added, removed, or changes meaning; consumers refuse
 /// reports from another version instead of misreading them.
-inline constexpr int kScalingReportSchemaVersion = 1;
+/// History: 1 = the scaling observatory's initial layout; 2 adds
+/// reliable-delivery recovery (recovery_spec on the report,
+/// recovery_s / retransmits on every cell).
+inline constexpr int kScalingReportSchemaVersion = 2;
 
 /// One sync-plan site's communication bill inside one cell, as a share
 /// of the cell's total rank time. Matched across cells by (kind,
@@ -73,6 +76,12 @@ struct ScalingCell {
   double compute_s = 0.0;
   double transfer_s = 0.0;
   double wait_s = 0.0;
+  /// Recovery wait summed over all ranks (sub-account of wait_s;
+  /// nonzero only under a lossy fault plan with recovery on) and the
+  /// wire retransmissions that caused it. Keeps lossy cells comparable
+  /// to clean ones: elapsed_s - the recovery tax is visible per cell.
+  double recovery_s = 0.0;
+  long long retransmits = 0;
   /// (transfer + wait) / (compute + transfer + wait): the fraction of
   /// all rank time spent communicating.
   double comm_share = 0.0;
@@ -118,6 +127,9 @@ struct ScalingReport {
   std::string title;
   std::string strategy;    // combine strategy of every compile
   std::string fault_spec;  // sweep-wide fault plan, empty when clean
+  /// RecoveryConfig::str() of the sweep-wide reliable-delivery
+  /// protocol; empty when the sweep ran fail-fast.
+  std::string recovery_spec;
   /// Sequential reference under the same machine model; 0 when the
   /// sweep did not run one.
   double seq_elapsed_s = 0.0;

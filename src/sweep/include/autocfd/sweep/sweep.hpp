@@ -51,6 +51,12 @@ struct SweepSpec {
   std::string strategy = "min";
   /// fault::FaultPlan::parse spec applied to every cell; empty = clean.
   std::string faults;
+  /// mp::RecoveryConfig::parse spec enabling reliable delivery in
+  /// every cell ("" = fail-fast, "default" or "budget=8,rto=0.002,..."
+  /// = recovery on). Lossy fault plans then yield completed,
+  /// bit-identical cells whose recovery cost is measured per cell,
+  /// keeping sweeps comparable instead of aborting at the first drop.
+  std::string recovery;
   /// Also run the unrestructured sequential program once and record
   /// its elapsed time; it becomes the baseline when no 1-rank cell
   /// exists (the Table-4 seq-vs-par workflow).

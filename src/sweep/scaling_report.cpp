@@ -31,6 +31,8 @@ void write_cell_json(const ScalingCell& c, std::ostream& os,
      << ",\n" << indent << " \"compute_s\": " << json_number(c.compute_s)
      << ", \"transfer_s\": " << json_number(c.transfer_s)
      << ", \"wait_s\": " << json_number(c.wait_s)
+     << ", \"recovery_s\": " << json_number(c.recovery_s)
+     << ", \"retransmits\": " << c.retransmits
      << ", \"comm_share\": " << json_number(c.comm_share)
      << ",\n" << indent << " \"imbalance\": " << json_number(c.imbalance)
      << ", \"straggler_rank\": " << c.straggler_rank
@@ -59,6 +61,7 @@ void ScalingReport::write_json(std::ostream& os) const {
   os << "  \"title\": \"" << json_escape(title) << "\",\n";
   os << "  \"strategy\": \"" << json_escape(strategy) << "\",\n";
   os << "  \"fault_spec\": \"" << json_escape(fault_spec) << "\",\n";
+  os << "  \"recovery_spec\": \"" << json_escape(recovery_spec) << "\",\n";
   os << "  \"seq_elapsed_s\": " << json_number(seq_elapsed_s) << ",\n";
   os << "  \"cells\": [";
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -135,6 +138,7 @@ std::optional<ScalingReport> ScalingReport::parse(std::string_view text,
   rep.title = root->str_or("title", "");
   rep.strategy = root->str_or("strategy", "");
   rep.fault_spec = root->str_or("fault_spec", "");
+  rep.recovery_spec = root->str_or("recovery_spec", "");
   rep.seq_elapsed_s = root->num_or("seq_elapsed_s", 0.0);
   for (const auto& c : root->list("cells")) {
     ScalingCell cell;
@@ -150,6 +154,8 @@ std::optional<ScalingReport> ScalingReport::parse(std::string_view text,
     cell.compute_s = c.num_or("compute_s", 0.0);
     cell.transfer_s = c.num_or("transfer_s", 0.0);
     cell.wait_s = c.num_or("wait_s", 0.0);
+    cell.recovery_s = c.num_or("recovery_s", 0.0);
+    cell.retransmits = c.int_or("retransmits", 0);
     cell.comm_share = c.num_or("comm_share", 0.0);
     cell.imbalance = c.num_or("imbalance", 0.0);
     cell.straggler_rank = static_cast<int>(c.int_or("straggler_rank", 0));
@@ -248,6 +254,7 @@ void ScalingReport::write_text(std::ostream& os) const {
   os << "strategy " << strategy << ", "
      << (fault_spec.empty() ? std::string("clean")
                             : "faults '" + fault_spec + "'");
+  if (!recovery_spec.empty()) os << ", recovery '" << recovery_spec << "'";
   if (seq_elapsed_s > 0.0) {
     os << ", sequential baseline " << fmt(seq_elapsed_s, 4) << " s";
   }
@@ -271,6 +278,19 @@ void ScalingReport::write_text(std::ostream& os) const {
        << "  " << std::setw(5) << c.syncs_after << "\n";
   }
   os << "  (* = baseline cell of its engine series)\n";
+  bool any_recovery = false;
+  for (const auto& c : cells) any_recovery |= c.retransmits > 0;
+  if (any_recovery) {
+    os << "\n--- recovery (reliable delivery under the fault plan) ---\n";
+    for (const auto& c : cells) {
+      if (c.retransmits == 0) continue;
+      os << "  p=" << std::setw(4) << c.nranks << " " << c.partition << " ("
+         << c.engine << "): " << c.retransmits << " retransmits, "
+         << fmt(c.recovery_s, 4) << " s recovery wait ("
+         << fmt_pct(c.wait_s > 0.0 ? c.recovery_s / c.wait_s : 0.0)
+         << " of wait)\n";
+    }
+  }
 
   // One efficiency curve per engine series: the bar is ideal-scaled,
   // so perfectly parallel cells fill it at every rank count.
@@ -389,6 +409,9 @@ void ScalingReport::write_html(std::ostream& os) const {
      << (fault_spec.empty()
              ? std::string("clean")
              : "faults <b>" + html_escape(fault_spec) + "</b>");
+  if (!recovery_spec.empty()) {
+    os << ", recovery <b>" << html_escape(recovery_spec) << "</b>";
+  }
   if (seq_elapsed_s > 0.0) {
     os << ", sequential baseline <b>" << fmt(seq_elapsed_s, 4) << " s</b>";
   }

@@ -8,6 +8,7 @@
 
 #include "autocfd/fault/fault.hpp"
 #include "autocfd/fortran/parser.hpp"
+#include "autocfd/mp/recovery.hpp"
 #include "autocfd/obs/json_util.hpp"
 #include "autocfd/plan/json_reader.hpp"
 #include "autocfd/plan/planner.hpp"
@@ -101,6 +102,7 @@ std::optional<SweepSpec> SweepSpec::parse(std::string_view text,
   }
   spec.strategy = root->str_or("strategy", "min");
   spec.faults = root->str_or("faults", "");
+  spec.recovery = root->str_or("recovery", "");
   spec.sequential_baseline = root->bool_or("sequential_baseline", false);
   spec.plan = root->bool_or("plan", false);
   spec.timeline_buckets =
@@ -151,6 +153,7 @@ std::string SweepSpec::json() const {
   os << "],\n";
   os << "  \"strategy\": \"" << obs::json_escape(strategy) << "\",\n";
   os << "  \"faults\": \"" << obs::json_escape(faults) << "\",\n";
+  os << "  \"recovery\": \"" << obs::json_escape(recovery) << "\",\n";
   os << "  \"sequential_baseline\": "
      << (sequential_baseline ? "true" : "false") << ",\n";
   os << "  \"plan\": " << (plan ? "true" : "false") << ",\n";
@@ -182,7 +185,9 @@ ScalingCell distill_cell(const prof::RunReport& rep,
     cell.compute_s += rb.compute;
     cell.transfer_s += rb.transfer;
     cell.wait_s += rb.wait;
+    cell.recovery_s += rb.recovery;
   }
+  cell.retransmits = rep.recovery.retransmits;
   const double total = cell.compute_s + cell.transfer_s + cell.wait_s;
   cell.comm_share =
       total > 0.0 ? (cell.transfer_s + cell.wait_s) / total : 0.0;
@@ -415,6 +420,10 @@ SweepResult run_sweep(const std::string& source,
     fault_plan = fault::FaultPlan::parse(spec.faults);
     result.report.fault_spec = fault_plan.str();
   }
+  if (!spec.recovery.empty()) {
+    result.report.recovery_spec =
+        mp::RecoveryConfig::parse(spec.recovery).str();
+  }
 
   if (spec.sequential_baseline) {
     auto seq_file = fortran::parse_source(source);
@@ -463,11 +472,15 @@ SweepResult run_sweep(const std::string& source,
     run_opts.watchdog = options.watchdog;
     run_opts.engine = interp::parse_engine_kind(cfg.engine);
     run_opts.profile = true;
+    if (!spec.recovery.empty()) {
+      run_opts.recovery = mp::RecoveryConfig::parse(spec.recovery);
+    }
     const auto run = program->run(options.machine, run_opts);
 
     prof::ReportOptions ropts;
     ropts.title = spec.title;
     ropts.engine = cfg.engine;
+    ropts.recovery_enabled = run_opts.recovery.enabled;
     if (result.report.seq_elapsed_s > 0.0) {
       ropts.seq_elapsed_s = result.report.seq_elapsed_s;
     }

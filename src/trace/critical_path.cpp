@@ -137,6 +137,7 @@ std::vector<RankBreakdown> rank_breakdown(const Trace& trace) {
           break;
         case EventKind::Recv:
           b.wait += e.wait;
+          b.recovery += e.recovery;
           break;
         case EventKind::AllReduce:
         case EventKind::Barrier:
@@ -148,6 +149,7 @@ std::vector<RankBreakdown> rank_breakdown(const Trace& trace) {
         case EventKind::FaultDrop:
         case EventKind::FaultCorrupt:
         case EventKind::Timeout:
+        case EventKind::Retransmit:
           break;  // zero-width markers, no clock contribution
       }
     }

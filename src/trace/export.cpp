@@ -73,6 +73,9 @@ std::string event_name(const TraceEvent& e, const sync::TagRegistry* tags) {
       os << "timeout";
       if (e.peer >= 0) os << " <- " << e.peer;
       break;
+    case EventKind::Retransmit:
+      os << "retransmit #" << e.attempts << " <- " << e.peer;
+      break;
   }
   const int id = (e.kind == EventKind::AllReduce ||
                   e.kind == EventKind::Barrier)
@@ -100,6 +103,7 @@ const char* event_category(const TraceEvent& e) {
     case EventKind::FaultDrop:
     case EventKind::FaultCorrupt: return "fault";
     case EventKind::Timeout: return "error";
+    case EventKind::Retransmit: return "fault";
   }
   return "?";
 }

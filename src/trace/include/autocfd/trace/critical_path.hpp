@@ -50,6 +50,9 @@ struct RankBreakdown {
   double compute = 0.0;
   double transfer = 0.0;  // send costs + collective tree costs
   double wait = 0.0;      // idle at recv + idle at collective entry
+  /// Portion of `wait` spent recovering lost/corrupted messages
+  /// (reliable delivery); a sub-account, not added to total().
+  double recovery = 0.0;
 
   [[nodiscard]] double total() const { return compute + transfer + wait; }
 };

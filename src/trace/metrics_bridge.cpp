@@ -32,6 +32,7 @@ void trace_to_metrics(const Trace& trace, obs::MetricsRegistry& reg) {
         case EventKind::Recv:
           recv_wait.observe(e.wait);
           rank_wait.observe(e.wait);
+          if (e.attempts > 1) reg.add("fault.retry.recovered");
           break;
         case EventKind::AllReduce:
         case EventKind::Barrier:
@@ -55,6 +56,11 @@ void trace_to_metrics(const Trace& trace, obs::MetricsRegistry& reg) {
         case EventKind::Timeout:
           reg.add("fault.timeouts");
           break;
+        case EventKind::Retransmit:
+          reg.add("fault.retry.retransmits");
+          reg.histogram("fault.retry.backoff_s", obs::seconds_buckets())
+              .observe(e.wait);
+          break;
       }
     }
   }
@@ -71,6 +77,11 @@ void trace_to_metrics(const Trace& trace, obs::MetricsRegistry& reg) {
     reg.set_gauge(prefix + "compute_s", b.compute);
     reg.set_gauge(prefix + "transfer_s", b.transfer);
     reg.set_gauge(prefix + "wait_s", b.wait);
+  }
+  double recovery_total = 0.0;
+  for (const auto& b : breakdown) recovery_total += b.recovery;
+  if (recovery_total > 0.0) {
+    reg.set_gauge("fault.retry.recovery_s", recovery_total);
   }
 }
 

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "autocfd/mp/cluster.hpp"
+#include "autocfd/mp/recovery.hpp"
 
 namespace autocfd::mp {
 namespace {
@@ -606,6 +609,354 @@ TEST(ClusterHardening, ComputeFactorSlowsStragglerOnly) {
   auto result = cluster.run([](Comm& comm) { comm.add_compute(1e-3); });
   EXPECT_NEAR(result.ranks[0].compute_time, 1e-3, 1e-12);
   EXPECT_NEAR(result.ranks[1].compute_time, 3e-3, 1e-12);
+}
+
+namespace {
+/// Hook failing only the first `fail_attempts` wire attempts of one
+/// tag: the original transmission (and possibly early retransmits) are
+/// lost or corrupted, later retransmits go through — the recovery
+/// happy path. Wire attempts include retransmissions, which carry
+/// their own synthetic message ids (see retransmit_wire_id).
+struct FlakyHook final : FaultHook {
+  int tag = -1;
+  bool corrupt = false;  // false: drop; true: corrupt
+  int fail_attempts = 1;
+  int attempts_seen = 0;
+
+  FaultDecision on_message(int, int, int t, long long, long long, double,
+                           std::vector<double>& payload) override {
+    FaultDecision fd;
+    if (t != tag || attempts_seen++ >= fail_attempts) return fd;
+    if (corrupt && !payload.empty()) {
+      payload[0] += 0.5;
+      fd.corrupted = true;
+    } else {
+      fd.drop = true;
+    }
+    return fd;
+  }
+  double compute_factor(int) override { return 1.0; }
+};
+}  // namespace
+
+TEST(ClusterRecovery, DroppedMessageIsRetransmitted) {
+  // The drop that DroppedMessageTripsWatchdogNotDeadlock fails fast on
+  // is absorbed once reliable delivery is enabled: the retransmission
+  // delivers the pristine payload and the run completes.
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  FlakyHook hook;
+  hook.tag = 8;
+  cluster.set_fault_hook(&hook);
+  cluster.set_recovery(RecoveryConfig::parse("default"));
+  std::vector<double> got;
+  const auto result = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 8, {1.0, 2.0, 3.0});
+    } else {
+      got = comm.recv(0, 8);
+    }
+  });
+  EXPECT_EQ(got, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(result.ranks[1].retransmits, 1);
+  EXPECT_EQ(result.ranks[1].recovered, 1);
+  EXPECT_GT(result.ranks[1].recovery_time, 0.0);
+  // Retransmits are receiver-driven bookkeeping: the sender still
+  // accounts exactly one logical message.
+  EXPECT_EQ(result.ranks[0].messages_sent, 1);
+  EXPECT_EQ(result.ranks[0].retransmits, 0);
+  EXPECT_EQ(result.ranks[1].messages_received, 1);
+}
+
+TEST(ClusterRecovery, CorruptedMessageIsRetransmittedUnderSameChecksum) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  FlakyHook hook;
+  hook.tag = 7;
+  hook.corrupt = true;
+  cluster.set_fault_hook(&hook);
+  cluster.set_recovery(RecoveryConfig::parse("default"));
+  std::vector<double> got;
+  const auto result = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, {4.0, 5.0});
+    } else {
+      got = comm.recv(0, 7);
+    }
+  });
+  // The replay is the sender's retained pristine payload — corruption
+  // leaves no numerical trace.
+  EXPECT_EQ(got, (std::vector<double>{4.0, 5.0}));
+  EXPECT_EQ(result.ranks[1].retransmits, 1);
+  EXPECT_EQ(result.ranks[1].recovered, 1);
+}
+
+TEST(ClusterRecovery, BackoffScheduleIsDeterministic) {
+  // Pin the machine so the schedule is exact arithmetic: transfer is
+  // pure latency (1 ms). Store-and-forward: the sender pays the
+  // transfer first, so the original is fully on the wire at t=1 ms
+  // (its departure) and would arrive then too. Two drops: retransmit 1
+  // departs at 1 + rto(2) = 3 ms, retransmit 2 at 3 + 4 = 7 ms
+  // (doubled), landing at 7 + 1 = 8 ms.
+  MachineConfig cfg;
+  cfg.net_latency = 1e-3;
+  cfg.net_byte_time = 0.0;
+  Cluster cluster(2, cfg);
+  FlakyHook hook;
+  hook.tag = 3;
+  hook.fail_attempts = 2;
+  cluster.set_fault_hook(&hook);
+  cluster.set_recovery(RecoveryConfig::parse("budget=8,rto=0.002,backoff=2,cap=0.02"));
+  double recv_clock = 0.0;
+  const auto result = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 3, {1.0});
+    } else {
+      (void)comm.recv(0, 3);
+      recv_clock = comm.now();
+    }
+  });
+  EXPECT_NEAR(recv_clock, 8e-3, 1e-12);
+  EXPECT_EQ(result.ranks[1].retransmits, 2);
+  EXPECT_EQ(result.ranks[1].recovered, 1);
+  // Recovery time is the idle past the arrival the original attempt
+  // would have had: 8 ms - 1 ms.
+  EXPECT_NEAR(result.ranks[1].recovery_time, 7e-3, 1e-12);
+}
+
+TEST(ClusterRecovery, BackoffIsCappedAtMaxBackoff) {
+  // rto 1 ms with multiplier 10 would give 1, 10, 100 ms; the cap
+  // clamps every interval past the first to 2 ms. The original departs
+  // at 1 ms (store-and-forward); after 3 failures the delivering
+  // retransmit departs at 1 + 1 + 2 + 2 = 6 ms and lands at 7 ms.
+  MachineConfig cfg;
+  cfg.net_latency = 1e-3;
+  cfg.net_byte_time = 0.0;
+  Cluster cluster(2, cfg);
+  FlakyHook hook;
+  hook.tag = 4;
+  hook.fail_attempts = 3;
+  cluster.set_fault_hook(&hook);
+  cluster.set_recovery(
+      RecoveryConfig::parse("budget=5,rto=0.001,backoff=10,cap=0.002"));
+  double recv_clock = 0.0;
+  (void)cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 4, {1.0});
+    } else {
+      (void)comm.recv(0, 4);
+      recv_clock = comm.now();
+    }
+  });
+  EXPECT_NEAR(recv_clock, 7e-3, 1e-12);
+}
+
+TEST(ClusterRecovery, BudgetExhaustionDegradesToTimeoutWithAttempts) {
+  // Every wire attempt is lost: after budget retransmissions the
+  // protocol degrades into the fail-fast error, carrying the full
+  // attempt count (original + budget) and the message identity.
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  TestHook hook;
+  hook.drop_tag = 9;
+  cluster.set_fault_hook(&hook);
+  cluster.set_recovery(RecoveryConfig::parse("budget=3"));
+  try {
+    (void)cluster.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.send(1, 9, {1.0});
+      } else {
+        (void)comm.recv(0, 9);
+      }
+    });
+    FAIL() << "exhausted budget did not surface";
+  } catch (const CommTimeoutError& e) {
+    EXPECT_EQ(e.info().rank, 1);
+    EXPECT_EQ(e.info().peer, 0);
+    EXPECT_EQ(e.info().tag, 9);
+    EXPECT_EQ(e.info().attempts, 4);  // original + 3 retransmissions
+    EXPECT_NE(std::string(e.what()).find("budget 3"), std::string::npos);
+  }
+}
+
+TEST(ClusterRecovery, BudgetExhaustionDegradesToChecksumWhenCorrupt) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  TestHook hook;
+  hook.corrupt_tag = 6;
+  cluster.set_fault_hook(&hook);
+  cluster.set_recovery(RecoveryConfig::parse("budget=2"));
+  try {
+    (void)cluster.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.send(1, 6, {1.0, 2.0});
+      } else {
+        (void)comm.recv(0, 6);
+      }
+    });
+    FAIL() << "exhausted budget did not surface";
+  } catch (const CommChecksumError& e) {
+    EXPECT_EQ(e.info().rank, 1);
+    EXPECT_EQ(e.info().tag, 6);
+    EXPECT_EQ(e.info().attempts, 3);  // original + 2 retransmissions
+  }
+}
+
+TEST(ClusterRecovery, FifoOrderSurvivesADroppedHead) {
+  // Two messages on one tag; the first is dropped. FIFO must still
+  // hold: the first recv returns the *recovered* first payload, never
+  // the second message that is sitting intact in the channel.
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  FlakyHook hook;
+  hook.tag = 5;
+  cluster.set_fault_hook(&hook);
+  cluster.set_recovery(RecoveryConfig::parse("default"));
+  std::vector<double> first, second;
+  (void)cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 5, {1.0});
+      comm.send(1, 5, {2.0});
+    } else {
+      first = comm.recv(0, 5);
+      second = comm.recv(0, 5);
+    }
+  });
+  EXPECT_EQ(first, std::vector<double>{1.0});
+  EXPECT_EQ(second, std::vector<double>{2.0});
+}
+
+TEST(ClusterRecovery, EmitsRetransmitEventsOnReceiverStream) {
+  struct Sink final : EventSink {
+    std::vector<TraceEvent> events;
+    void on_event(const TraceEvent& e) override { events.push_back(e); }
+  } sink;
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  cluster.set_event_sink(&sink);
+  FlakyHook hook;
+  hook.tag = 2;
+  cluster.set_fault_hook(&hook);
+  cluster.set_recovery(RecoveryConfig::parse("default"));
+  (void)cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 2, {1.0});
+    } else {
+      (void)comm.recv(0, 2);
+    }
+  });
+  int retransmits = 0;
+  bool recovered_recv = false;
+  for (const auto& e : sink.events) {
+    if (e.kind == EventKind::Retransmit) {
+      ++retransmits;
+      EXPECT_EQ(e.rank, 1);  // receiver-driven, on the receiver stream
+      EXPECT_EQ(e.peer, 0);
+      EXPECT_EQ(e.tag, 2);
+      EXPECT_EQ(e.t0, e.t1);  // zero-width marker
+      EXPECT_EQ(e.attempts, 1);
+    }
+    if (e.kind == EventKind::Recv && e.attempts > 1) {
+      recovered_recv = true;
+      EXPECT_EQ(e.attempts, 2);
+      EXPECT_GT(e.recovery, 0.0);
+      EXPECT_LE(e.recovery, e.wait + 1e-12);
+    }
+  }
+  EXPECT_EQ(retransmits, 1);
+  EXPECT_TRUE(recovered_recv);
+}
+
+TEST(ClusterRecovery, AccountingInvariantsHoldThroughRecovery) {
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  FlakyHook hook;
+  hook.tag = 1;
+  hook.fail_attempts = 2;
+  cluster.set_fault_hook(&hook);
+  cluster.set_recovery(RecoveryConfig::parse("default"));
+  double clock1 = 0.0;
+  const auto result = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.add_compute(1e-4);
+      comm.send(1, 1, {1.0, 2.0});
+    } else {
+      comm.add_compute(2e-4);
+      (void)comm.recv(0, 1);
+      clock1 = comm.now();
+    }
+  });
+  const auto& st = result.ranks[1];
+  // recovery is a sub-account of wait, which is a sub-account of comm:
+  // compute + comm still totals the rank clock exactly.
+  EXPECT_LE(st.recovery_time, st.wait_time + 1e-12);
+  EXPECT_LE(st.wait_time, st.comm_time + 1e-12);
+  EXPECT_NEAR(st.compute_time + st.comm_time, clock1, 1e-12);
+}
+
+TEST(ClusterRecovery, WatchdogTreatsPendingRetransmitAsProgress) {
+  // Regression: rank 1 blocks in recv(0, tag 5) whose message is
+  // dropped (a pending retransmit with remaining budget — progress,
+  // not a hang), then blocks in recv(0, tag 99) which nobody will ever
+  // send. The watchdog must not trip on the recoverable receive; the
+  // run fails on tag 99 with rank 1 as the victim.
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  FlakyHook hook;
+  hook.tag = 5;
+  cluster.set_fault_hook(&hook);
+  cluster.set_recovery(RecoveryConfig::parse("default"));
+  cluster.set_watchdog(1.0);
+  try {
+    (void)cluster.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        // Give rank 1 time to block on the recv first, so the dropped
+        // send lands while the receiver is already parked.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        comm.send(1, 5, {1.0});
+      } else {
+        (void)comm.recv(0, 5);   // recovered after one retransmit
+        (void)comm.recv(0, 99);  // genuinely stuck
+      }
+    });
+    FAIL() << "hang was not detected";
+  } catch (const CommTimeoutError& e) {
+    EXPECT_EQ(e.info().rank, 1);
+    EXPECT_EQ(e.info().peer, 0);
+    EXPECT_EQ(e.info().tag, 99);
+  }
+}
+
+TEST(ClusterRecovery, DisabledRecoveryKeepsFailFastSemantics) {
+  // A default-constructed RecoveryConfig is disabled: the drop still
+  // trips the watchdog exactly as before the protocol existed.
+  Cluster cluster(2, MachineConfig::pentium_ethernet_1999());
+  FlakyHook hook;
+  hook.tag = 8;
+  cluster.set_fault_hook(&hook);
+  cluster.set_recovery(RecoveryConfig{});
+  cluster.set_watchdog(1.5);
+  EXPECT_THROW((void)cluster.run([](Comm& comm) {
+                 if (comm.rank() == 0) {
+                   comm.send(1, 8, {1.0});
+                 } else {
+                   (void)comm.recv(0, 8);
+                 }
+               }),
+               CommTimeoutError);
+}
+
+TEST(ClusterRecovery, ConfigParseValidatesAndRoundTrips) {
+  const auto rc = RecoveryConfig::parse("budget=4,rto=0.01,backoff=3,cap=0.1");
+  EXPECT_TRUE(rc.enabled);
+  EXPECT_EQ(rc.budget, 4);
+  EXPECT_DOUBLE_EQ(rc.rto, 0.01);
+  EXPECT_DOUBLE_EQ(rc.backoff, 3.0);
+  EXPECT_DOUBLE_EQ(rc.max_backoff, 0.1);
+  EXPECT_EQ(RecoveryConfig::parse(rc.str()).str(), rc.str());
+  EXPECT_TRUE(RecoveryConfig::parse("").enabled);
+  EXPECT_TRUE(RecoveryConfig::parse("default").enabled);
+  EXPECT_FALSE(RecoveryConfig{}.enabled);
+  EXPECT_THROW((void)RecoveryConfig::parse("budget=0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)RecoveryConfig::parse("rto=-1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)RecoveryConfig::parse("backoff=0.5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)RecoveryConfig::parse("nonsense=1"),
+               std::invalid_argument);
 }
 
 TEST(ClusterHardening, RunStateResetsAfterAbortedRun) {

@@ -111,6 +111,44 @@ TEST(FaultPlan, ParseRejectsGarbage) {
   EXPECT_THROW((void)FaultPlan::parse("drop=abc"), std::invalid_argument);
 }
 
+TEST(FaultPlan, ParseRejectsInvalidValues) {
+  // Structurally well-formed specs with nonsensical values must fail
+  // up front with an actionable message, not misbehave at run time.
+  EXPECT_THROW((void)FaultPlan::parse("window=0.4:0.1:0.02"),
+               std::invalid_argument);  // empty window: end < start
+  EXPECT_THROW((void)FaultPlan::parse("window=0:1:-0.5"),
+               std::invalid_argument);  // negative delay
+  EXPECT_THROW((void)FaultPlan::parse("drop=-0.1"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("drop=1.5"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("corrupt=2"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("jitter=-0.2:0.01"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("jitter=0.5:-0.01"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("straggler=-1:2"),
+               std::invalid_argument);  // negative rank
+  EXPECT_THROW((void)FaultPlan::parse("straggler=0:0.5"),
+               std::invalid_argument);  // factor < 1 would speed up
+  EXPECT_THROW((void)FaultPlan::parse("dropfirst=-3"),
+               std::invalid_argument);
+  // The diagnostics carry enough context to fix the spec.
+  try {
+    (void)FaultPlan::parse("window=0.4:0.1:0.02");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("end must be after the start"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)FaultPlan::parse("frobnicate=1");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("known:"), std::string::npos)
+        << e.what();  // lists the valid fault kinds
+  }
+}
+
 TEST(FaultPlan, TimingOnlyClassification) {
   EXPECT_TRUE(FaultPlan::parse("seed=1").empty());
   EXPECT_TRUE(
@@ -315,6 +353,94 @@ TEST(ChaosObservability, FaultEventsAndMetricsAgree) {
   ASSERT_NE(h, nullptr);
   EXPECT_EQ(h->count(), delay_events);
   EXPECT_NEAR(h->sum(), injector.counters().delay_s, 1e-12);
+}
+
+// The recovery tentpole property at the application level: seeded
+// drop+corruption plans — the ones the detection tests prove fatal —
+// complete under reliable delivery with results bit-identical to the
+// sequential run, on both CFD case studies, deterministically per seed.
+TEST(RecoveryDifferential, LossyPlansRecoverBitIdentical) {
+  for (const auto& app : {small_aerofoil(), small_sprayer()}) {
+    auto c = compile(app);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const auto plan =
+          FaultPlan::parse("seed=" + std::to_string(seed * 7) +
+                           ",drop=0.05,corrupt=0.03");
+      FaultInjector injector(plan);
+      codegen::SpmdRunOptions opts;
+      opts.faults = &injector;
+      opts.recovery = mp::RecoveryConfig::parse("default");
+      const auto par = c.program->run(kMachine, opts);
+      expect_bit_identical(
+          c, par, app.partition + " lossy seed " + std::to_string(seed * 7));
+      long long recovered = 0;
+      for (const auto& st : par.cluster.ranks) recovered += st.recovered;
+      const auto injected =
+          injector.counters().dropped + injector.counters().corrupted;
+      if (injected > 0) {
+        EXPECT_GT(recovered, 0)
+            << app.partition << " seed " << seed * 7
+            << ": faults were injected but nothing was recovered";
+      }
+    }
+  }
+}
+
+TEST(RecoveryDifferential, SameSeedSameRecoverySchedule) {
+  auto c = compile(small_sprayer());
+  const auto plan = FaultPlan::parse("seed=13,drop=0.08,corrupt=0.04");
+  codegen::SpmdRunOptions opts;
+  opts.recovery = mp::RecoveryConfig::parse("default");
+  FaultInjector i1(plan), i2(plan);
+  opts.faults = &i1;
+  const auto r1 = c.program->run(kMachine, opts);
+  opts.faults = &i2;
+  const auto r2 = c.program->run(kMachine, opts);
+  EXPECT_EQ(r1.elapsed, r2.elapsed);
+  for (std::size_t r = 0; r < r1.cluster.ranks.size(); ++r) {
+    EXPECT_EQ(r1.cluster.ranks[r].retransmits, r2.cluster.ranks[r].retransmits)
+        << "rank " << r;
+    EXPECT_EQ(r1.cluster.ranks[r].recovery_time,
+              r2.cluster.ranks[r].recovery_time)
+        << "rank " << r;
+  }
+}
+
+TEST(RecoveryObservability, RetryMetricsMatchRuntimeCounters) {
+  auto c = compile(small_sprayer());
+  const auto plan = FaultPlan::parse("seed=21,drop=0.08,corrupt=0.04");
+  FaultInjector injector(plan);
+  trace::TraceRecorder rec;
+  codegen::SpmdRunOptions opts;
+  opts.faults = &injector;
+  opts.sink = &rec;
+  opts.recovery = mp::RecoveryConfig::parse("default");
+  const auto par = c.program->run(kMachine, opts);
+
+  long long retransmits = 0, recovered = 0;
+  double recovery_s = 0.0;
+  for (const auto& st : par.cluster.ranks) {
+    retransmits += st.retransmits;
+    recovered += st.recovered;
+    recovery_s += st.recovery_time;
+  }
+  ASSERT_GT(retransmits, 0) << "plan injected nothing, test is vacuous";
+
+  obs::MetricsRegistry reg;
+  trace::trace_to_metrics(rec.trace(), reg);
+  // The trace-derived fault.retry.* metrics reconcile exactly with the
+  // runtime's own per-rank accounting.
+  EXPECT_EQ(reg.counter("fault.retry.retransmits"), retransmits);
+  EXPECT_EQ(reg.counter("fault.retry.recovered"), recovered);
+  EXPECT_NEAR(reg.gauge("fault.retry.recovery_s"), recovery_s, 1e-12);
+  const auto* backoff = reg.find_histogram("fault.retry.backoff_s");
+  ASSERT_NE(backoff, nullptr);
+  EXPECT_EQ(backoff->count(), retransmits);
+  // Fault counters still reconcile with the injector even though
+  // retransmitted attempts can fail again: every wire decision is
+  // reported on the receiver's stream.
+  EXPECT_EQ(reg.counter("fault.dropped"), injector.counters().dropped);
+  EXPECT_EQ(reg.counter("fault.corrupted"), injector.counters().corrupted);
 }
 
 }  // namespace

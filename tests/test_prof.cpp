@@ -47,7 +47,8 @@ struct ProfiledRun {
 ProfiledRun run_profiled(const std::string& source,
                          const std::string& partition,
                          interp::EngineKind engine,
-                         mp::FaultHook* faults = nullptr) {
+                         mp::FaultHook* faults = nullptr,
+                         mp::RecoveryConfig recovery = {}) {
   ProfiledRun out;
   DiagnosticEngine diags;
   auto dirs = core::Directives::extract(source, diags);
@@ -60,6 +61,7 @@ ProfiledRun run_profiled(const std::string& source,
   opts.engine = engine;
   opts.profile = true;
   opts.faults = faults;
+  opts.recovery = recovery;
   out.result =
       out.program->run(mp::MachineConfig::pentium_ethernet_1999(), opts);
   out.trace = recorder.take();
@@ -205,6 +207,34 @@ TEST(CommMatrix, ReconcilesUnderTimingOnlyFaults) {
   EXPECT_GT(injector.counters().delayed, 0);
 }
 
+TEST(CommMatrix, ReconcilesUnderRecoveredLoss) {
+  // Reliable delivery absorbs the drops/corruptions; the matrix must
+  // still reconcile exactly, and its new recovery columns must agree
+  // with the runtime's per-rank accounting.
+  auto plan = fault::FaultPlan::parse("seed=11,drop=0.2,corrupt=0.1");
+  fault::FaultInjector injector{plan};
+  auto run = run_profiled(aerofoil_small(), "2x2x1",
+                          interp::EngineKind::Bytecode, &injector,
+                          mp::RecoveryConfig::parse("default"));
+  const auto matrix =
+      build_comm_matrix(run.trace, &run.program->meta.tags, 16);
+  expect_matrix_reconciles(matrix, run.result.cluster.ranks);
+
+  long long cell_retransmits = 0, stat_retransmits = 0;
+  double cell_recovery = 0.0, stat_recovery = 0.0;
+  for (const auto& cell : matrix.cells) {
+    cell_retransmits += cell.retransmits;
+    cell_recovery += cell.recovery_s;
+  }
+  for (const auto& st : run.result.cluster.ranks) {
+    stat_retransmits += st.retransmits;
+    stat_recovery += st.recovery_time;
+  }
+  ASSERT_GT(stat_retransmits, 0) << "plan injected nothing, test is vacuous";
+  EXPECT_EQ(cell_retransmits, stat_retransmits);
+  EXPECT_NEAR(cell_recovery, stat_recovery, 1e-12);
+}
+
 TEST(CommMatrix, TimelineRowsSumToRankClocks) {
   auto run =
       run_profiled(sprayer_small(), "2x2", interp::EngineKind::Bytecode);
@@ -330,6 +360,48 @@ TEST(RunReport, TextAndHtmlRender) {
   // HTML must escape the title, not interpolate it raw.
   EXPECT_EQ(html.str().find("<&>"), std::string::npos);
   EXPECT_NE(html.str().find("&lt;&amp;&gt;"), std::string::npos);
+}
+
+TEST(RunReport, RecoverySummaryReconcilesAndRenders) {
+  auto plan = fault::FaultPlan::parse("seed=11,drop=0.06,corrupt=0.03");
+  fault::FaultInjector injector{plan};
+  auto run = run_profiled(sprayer_small(), "2x2",
+                          interp::EngineKind::Bytecode, &injector,
+                          mp::RecoveryConfig::parse("default"));
+  ReportOptions opts;
+  opts.title = "sprayer";
+  opts.engine = "bytecode";
+  opts.recovery_enabled = true;
+  const auto report = build_run_report(*run.program, run.result, run.trace,
+                                       &run.obs.provenance, opts);
+
+  long long retransmits = 0, recovered = 0;
+  double recovery_s = 0.0;
+  for (const auto& st : run.result.cluster.ranks) {
+    retransmits += st.retransmits;
+    recovered += st.recovered;
+    recovery_s += st.recovery_time;
+  }
+  ASSERT_GT(retransmits, 0) << "plan injected nothing, test is vacuous";
+  EXPECT_TRUE(report.recovery.enabled);
+  EXPECT_EQ(report.recovery.retransmits, retransmits);
+  EXPECT_EQ(report.recovery.recovered, recovered);
+  EXPECT_NEAR(report.recovery.recovery_s, recovery_s, 1e-12);
+
+  // The per-rank rows carry the recovery split and sum to the summary.
+  double rank_recovery = 0.0;
+  for (const auto& rb : report.ranks) {
+    EXPECT_LE(rb.recovery, rb.wait + 1e-12);
+    rank_recovery += rb.recovery;
+  }
+  EXPECT_NEAR(rank_recovery, report.recovery.recovery_s, 1e-12);
+
+  std::ostringstream json, text;
+  write_report_json(report, json);
+  EXPECT_NE(json.str().find("\"recovery\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"retransmits\""), std::string::npos);
+  write_report(report, ReportFormat::Text, text);
+  EXPECT_NE(text.str().find("recovery:"), std::string::npos);
 }
 
 TEST(RunReport, FormatParsing) {

@@ -149,6 +149,8 @@ void expect_traces_identical(const trace::Trace& a, const trace::Trace& b) {
       EXPECT_EQ(ea.msg_id, eb.msg_id);
       EXPECT_EQ(ea.arrival, eb.arrival);
       EXPECT_EQ(ea.wait, eb.wait);
+      EXPECT_EQ(ea.recovery, eb.recovery);
+      EXPECT_EQ(ea.attempts, eb.attempts);
       EXPECT_EQ(ea.fifo_skip, eb.fifo_skip);
       EXPECT_EQ(ea.coll_seq, eb.coll_seq);
       EXPECT_EQ(ea.site, eb.site);
@@ -235,6 +237,86 @@ TEST_P(EngineEquivalence, BytecodeMatchesTreeBitwise) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalence,
                          ::testing::Range(1u, 9u));
+
+// --- Recovery cross-product -------------------------------------------------
+
+/// Reliable delivery under *data* faults must preserve every
+/// equivalence the clean runs have: with a seeded drop+corruption plan
+/// and recovery enabled, the run completes, results match the
+/// sequential interpreter bitwise on both engines, the two engines
+/// produce identical trace streams (including the retransmit markers
+/// and recovery accounting), and a same-seed rerun reproduces the
+/// trace event for event.
+class RecoveryEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RecoveryEquivalence, LossyRunsStayEquivalentAcrossEnginesAndReruns) {
+  const auto prog = generate(GetParam());
+  SCOPED_TRACE(prog.source);
+  const auto machine = mp::MachineConfig::pentium_ethernet_1999();
+
+  auto seq_file = fortran::parse_source(prog.source);
+  const auto seq =
+      codegen::run_sequential_timed(seq_file, prog.arrays, machine);
+
+  const auto plan = fault::FaultPlan::parse(
+      "seed=" + std::to_string(GetParam() * 31 + 7) +
+      ",drop=0.06,corrupt=0.03");
+  ASSERT_FALSE(plan.timing_only());
+
+  struct Run {
+    std::map<std::string, std::vector<double>> gathered;
+    trace::Trace trace;
+    long long retransmits = 0;
+  };
+  const auto run_once = [&](interp::EngineKind engine) {
+    DiagnosticEngine diags;
+    auto dirs = Directives::extract(prog.source, diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.dump();
+    dirs.partition = partition::PartitionSpec::parse("2x2");
+    auto parallel = parallelize(prog.source, dirs);
+    trace::TraceRecorder recorder;
+    fault::FaultInjector injector(plan);
+    codegen::SpmdRunOptions opts;
+    opts.sink = &recorder;
+    opts.faults = &injector;
+    opts.engine = engine;
+    opts.recovery = mp::RecoveryConfig::parse("default");
+    Run r;
+    auto par = parallel->run(machine, opts);
+    r.gathered = std::move(par.gathered);
+    r.trace = recorder.take();
+    for (const auto& st : par.cluster.ranks) r.retransmits += st.retransmits;
+    return r;
+  };
+
+  const auto tree = run_once(interp::EngineKind::Tree);
+  const auto byte_ = run_once(interp::EngineKind::Bytecode);
+  const auto rerun = run_once(interp::EngineKind::Bytecode);
+
+  // Both engines recover to the sequential results bitwise.
+  const std::pair<const char*, const Run*> runs[] = {{"tree", &tree},
+                                                     {"bytecode", &byte_}};
+  for (const auto& [label, r] : runs) {
+    for (const auto& name : prog.arrays) {
+      const auto& s = seq.arrays.at(name);
+      const auto& g = r->gathered.at(name);
+      ASSERT_EQ(s.size(), g.size());
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        ASSERT_EQ(s[i], g[i]) << label << " " << name << "[" << i << "]";
+      }
+    }
+  }
+
+  // Engines are observationally indistinguishable under loss too.
+  EXPECT_EQ(tree.retransmits, byte_.retransmits);
+  expect_traces_identical(tree.trace, byte_.trace);
+  // Same seed, same engine -> the identical stream of events.
+  EXPECT_EQ(byte_.retransmits, rerun.retransmits);
+  expect_traces_identical(byte_.trace, rerun.trace);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryEquivalence,
+                         ::testing::Range(1u, 7u));
 
 }  // namespace
 }  // namespace autocfd::core

@@ -135,6 +135,7 @@ TEST(SweepSpec, JsonRoundTrips) {
   spec.engines = {"bytecode", "tree"};
   spec.strategy = "pairwise";
   spec.faults = "seed=11,jitter=0.5:0.03";
+  spec.recovery = "budget=4,rto=0.002,backoff=2,cap=0.02";
   spec.sequential_baseline = true;
   spec.plan = true;
   spec.timeline_buckets = 12;
@@ -148,6 +149,7 @@ TEST(SweepSpec, JsonRoundTrips) {
   EXPECT_EQ(parsed->engines, spec.engines);
   EXPECT_EQ(parsed->strategy, spec.strategy);
   EXPECT_EQ(parsed->faults, spec.faults);
+  EXPECT_EQ(parsed->recovery, spec.recovery);
   EXPECT_EQ(parsed->sequential_baseline, spec.sequential_baseline);
   EXPECT_EQ(parsed->plan, spec.plan);
   EXPECT_EQ(parsed->timeline_buckets, spec.timeline_buckets);
@@ -242,6 +244,50 @@ TEST(Sweep, TimingOnlyFaultsPerturbTimeButStillReconcile) {
     EXPECT_EQ(faulted.report.cells[i].messages,
               clean.report.cells[i].messages);
     EXPECT_EQ(faulted.report.cells[i].bytes, clean.report.cells[i].bytes);
+  }
+}
+
+TEST(Sweep, LossyPlanUnderRecoveryKeepsCellsComparable) {
+  // A plan with real loss would kill every cell fail-fast; with the
+  // sweep's recovery knob the cells complete and stay comparable:
+  // aggregation still reconciles exactly, the recovery accounting is a
+  // sub-account of wait, and the report round-trips its new fields.
+  const auto app = test_sprayer();
+  SweepSpec spec;
+  spec.title = app.name;
+  spec.ranks = {2, 4};
+  spec.faults = "seed=11,drop=0.05,corrupt=0.03";
+  spec.recovery = "default";
+
+  const auto result = run_sweep(app.source, app.dirs, spec);
+  ASSERT_EQ(result.report.cells.size(), 2u);
+  EXPECT_FALSE(result.report.recovery_spec.empty());
+
+  long long total_retransmits = 0;
+  for (std::size_t i = 0; i < result.report.cells.size(); ++i) {
+    const auto& cell = result.report.cells[i];
+    const auto& rep = result.cell_reports[i];
+    expect_reconciles(cell, rep);
+    // Recovery columns reconcile exactly with the underlying report.
+    double recovery = 0.0;
+    for (const auto& rb : rep.ranks) recovery += rb.recovery;
+    EXPECT_EQ(cell.recovery_s, recovery);
+    EXPECT_EQ(cell.retransmits, rep.recovery.retransmits);
+    EXPECT_LE(cell.recovery_s, cell.wait_s + 1e-12);
+    total_retransmits += cell.retransmits;
+  }
+  EXPECT_GT(total_retransmits, 0)
+      << "lossy plan injected nothing, test is vacuous";
+
+  // The recovery fields survive a JSON write -> read round trip.
+  std::string error;
+  const auto parsed = ScalingReport::parse(result.report.json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->recovery_spec, result.report.recovery_spec);
+  for (std::size_t i = 0; i < parsed->cells.size(); ++i) {
+    EXPECT_EQ(parsed->cells[i].recovery_s, result.report.cells[i].recovery_s);
+    EXPECT_EQ(parsed->cells[i].retransmits,
+              result.report.cells[i].retransmits);
   }
 }
 
