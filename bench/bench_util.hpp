@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
@@ -18,6 +19,8 @@
 #include "autocfd/cfd/apps.hpp"
 #include "autocfd/core/pipeline.hpp"
 #include "autocfd/fortran/parser.hpp"
+#include "autocfd/ledger/ledger.hpp"
+#include "autocfd/ledger/record_builders.hpp"
 #include "autocfd/prof/source_profile.hpp"
 
 namespace bench_util {
@@ -202,6 +205,23 @@ inline int finish(int argc, char** argv) {
     write_json_report(path);
     note("\n[bench_util] wrote " + std::to_string(json_records().size()) +
          " measurement(s) to " + path);
+
+    // With ACFD_LEDGER set, the sidecar also becomes one run-history
+    // record — CI points every bench at a shared ledger and the
+    // regression sentinel trends them across runs. Append failure is a
+    // loud warning, never a bench failure.
+    if (const char* ledger_path = std::getenv("ACFD_LEDGER");
+        ledger_path != nullptr && ledger_path[0] != '\0') {
+      const auto rec = autocfd::ledger::record_from_sidecar(
+          stem, json_records(), json_string_records());
+      if (const auto err = autocfd::ledger::append_record(ledger_path, rec)) {
+        std::fprintf(stderr, "[bench_util] ledger append failed: %s\n",
+                     err->c_str());
+      } else {
+        note("[bench_util] appended 1 record to " +
+             std::string(ledger_path));
+      }
+    }
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -57,6 +57,22 @@
 //   --sweep-out F      write the ScalingReport to F (default stdout);
 //                      format from the extension unless --sweep-format.
 //   --sweep-format FMT json | text (default) | html.
+//
+// Telemetry ledger (the persistent memory between invocations):
+//   --ledger F         append one schema-versioned RunRecord per
+//                      execution to the JSONL ledger F: a --run
+//                      distills its run report and pass profile, a
+//                      --sweep appends one record per cell. The ledger
+//                      feeds tools/perf_sentinel (the regression gate)
+//                      and --history (the trend views).
+//   --history[=FMT]    render trend tables over the ledger named by
+//                      --ledger and any sidecars under --history-bench;
+//                      needs no input program. FMT: text (default) |
+//                      json | html (a self-contained dashboard).
+//   --history-out F    write the history view to F instead of stdout.
+//   --history-bench D  also fold every BENCH_*.json in directory D
+//                      into the history as "bench" records.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -67,6 +83,9 @@
 #include "autocfd/core/pipeline.hpp"
 #include "autocfd/fault/fault.hpp"
 #include "autocfd/fortran/parser.hpp"
+#include "autocfd/ledger/history.hpp"
+#include "autocfd/ledger/ledger.hpp"
+#include "autocfd/ledger/record_builders.hpp"
 #include "autocfd/plan/planner.hpp"
 #include "autocfd/prof/report.hpp"
 #include "autocfd/support/output_paths.hpp"
@@ -117,7 +136,15 @@ void usage() {
       "                     partitions x engines) and emit a ScalingReport\n"
       "  --sweep-out F      write the ScalingReport to F (default: stdout;\n"
       "                     format from the extension)\n"
-      "  --sweep-format FMT json | text (default) | html\n");
+      "  --sweep-format FMT json | text (default) | html\n"
+      "  --ledger F         append one RunRecord per execution (or per\n"
+      "                     sweep cell) to the JSONL ledger F\n"
+      "  --history[=FMT]    render run-history trends from --ledger and\n"
+      "                     --history-bench; no input program needed.\n"
+      "                     FMT: text (default) | json | html\n"
+      "  --history-out F    write the history view to F\n"
+      "  --history-bench D  fold BENCH_*.json sidecars in D into the\n"
+      "                     history\n");
 }
 
 }  // namespace
@@ -129,7 +156,10 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  std::string input_path = argv[1];
+  // --history needs no input program, so argv[1] may already be an
+  // option; every other mode requires the input path first.
+  const bool has_input = argv[1][0] != '-';
+  std::string input_path = has_input ? argv[1] : "";
   std::string output_path;
   std::string partition_arg;
   std::string metrics_path;
@@ -148,8 +178,12 @@ int main(int argc, char** argv) {
   bool sweep_format_set = false;
   double watchdog = mp::Cluster::kDefaultWatchdog;
   auto engine = interp::EngineKind::Bytecode;
+  std::string ledger_path;
+  bool want_history = false;
+  auto history_format = ledger::HistoryFormat::Text;
+  std::string history_out_path, history_bench_dir;
 
-  for (int i = 2; i < argc; ++i) {
+  for (int i = has_input ? 2 : 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -235,6 +269,31 @@ int main(int argc, char** argv) {
     } else if (arg == "--sweep-format") {
       sweep_format_arg = next();
       sweep_format_set = true;
+    } else if (arg.rfind("--ledger=", 0) == 0) {
+      ledger_path = arg.substr(9);
+    } else if (arg == "--ledger") {
+      ledger_path = next();
+    } else if (arg == "--history" || arg.rfind("--history=", 0) == 0) {
+      const std::string fmt =
+          arg.size() > 9 && arg[9] == '=' ? arg.substr(10) : "";
+      const auto parsed = ledger::parse_history_format(fmt);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "acfd: unknown history format '%s' (expected text, "
+                     "json or html)\n",
+                     fmt.c_str());
+        return 2;
+      }
+      want_history = true;
+      history_format = *parsed;
+    } else if (arg.rfind("--history-out=", 0) == 0) {
+      history_out_path = arg.substr(14);
+    } else if (arg == "--history-out") {
+      history_out_path = next();
+    } else if (arg.rfind("--history-bench=", 0) == 0) {
+      history_bench_dir = arg.substr(16);
+    } else if (arg == "--history-bench") {
+      history_bench_dir = next();
     } else if (arg.rfind("--watchdog=", 0) == 0) {
       watchdog = std::atof(arg.c_str() + 11);
     } else if (arg == "--watchdog") {
@@ -270,6 +329,86 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "acfd: --report and --explain=json both write stdout; "
                  "give the report a file with --report-out\n");
+    return 2;
+  }
+
+  if (want_history) {
+    // History mode: ledger (and/or sidecars) in, trend view out; no
+    // program is compiled or run.
+    if (ledger_path.empty() && history_bench_dir.empty()) {
+      std::fprintf(stderr,
+                   "acfd: --history needs --ledger and/or --history-bench "
+                   "to read from\n");
+      return 2;
+    }
+    if (!history_out_path.empty()) {
+      if (const auto problem = support::validate_output_paths(
+              {{"--history-out", history_out_path}})) {
+        std::fprintf(stderr, "acfd: %s\n", problem->c_str());
+        return 2;
+      }
+    }
+    std::vector<ledger::RunRecord> records;
+    if (!ledger_path.empty()) {
+      auto loaded = ledger::read_ledger(ledger_path);
+      for (const auto& warning : loaded.warnings) {
+        std::fprintf(stderr, "acfd: warning: %s\n", warning.c_str());
+      }
+      records = std::move(loaded.records);
+    }
+    if (!history_bench_dir.empty()) {
+      std::error_code dec;
+      std::vector<std::string> sidecars;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(history_bench_dir, dec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 &&
+            entry.path().extension() == ".json") {
+          sidecars.push_back(entry.path().string());
+        }
+      }
+      if (dec) {
+        std::fprintf(stderr, "acfd: cannot list '%s': %s\n",
+                     history_bench_dir.c_str(), dec.message().c_str());
+        return 2;
+      }
+      std::sort(sidecars.begin(), sidecars.end());
+      for (const auto& sidecar : sidecars) {
+        std::string err;
+        auto rec = ledger::record_from_sidecar_file(sidecar, &err);
+        if (!rec) {
+          std::fprintf(stderr, "acfd: warning: %s (skipped)\n", err.c_str());
+          continue;
+        }
+        records.push_back(std::move(*rec));
+      }
+    }
+    if (history_out_path.empty()) {
+      std::ostringstream os;
+      ledger::write_history(records, history_format, os);
+      std::fprintf(stdout, "%s", os.str().c_str());
+    } else {
+      std::ofstream hos(history_out_path);
+      ledger::write_history(records, history_format, hos);
+      hos.flush();
+      if (!hos) {
+        std::fprintf(stderr, "acfd: cannot write history file '%s'\n",
+                     history_out_path.c_str());
+        return 1;
+      }
+      std::fprintf(stdout, "acfd: wrote %s (%zu record(s))\n",
+                   history_out_path.c_str(), records.size());
+    }
+    return 0;
+  }
+  if (!has_input) {
+    usage();
+    return 2;
+  }
+  if (!history_out_path.empty() || !history_bench_dir.empty()) {
+    std::fprintf(stderr,
+                 "acfd: --history-out/--history-bench only make sense "
+                 "with --history\n");
     return 2;
   }
 
@@ -325,6 +464,9 @@ int main(int argc, char** argv) {
     if (!sweep_out_path.empty()) {
       outputs.push_back({"--sweep-out", sweep_out_path});
     }
+    if (!ledger_path.empty()) {
+      outputs.push_back({"--ledger", ledger_path});
+    }
     if (const auto problem = support::validate_output_paths(outputs)) {
       std::fprintf(stderr, "acfd: %s\n", problem->c_str());
       return 2;
@@ -376,7 +518,15 @@ int main(int argc, char** argv) {
       }
       sweep::SweepOptions sopts;
       sopts.watchdog = watchdog;
+      sopts.ledger_path = ledger_path;
       const auto result = sweep::run_sweep(source, dirs, *spec, sopts);
+      if (!result.ledger_error.empty()) {
+        std::fprintf(stderr, "acfd: ledger append failed: %s\n",
+                     result.ledger_error.c_str());
+      } else if (!ledger_path.empty()) {
+        std::fprintf(chat, "acfd: appended %zu record(s) to %s\n",
+                     result.report.cells.size(), ledger_path.c_str());
+      }
       const std::string crossed =
           result.report.crossover_nranks > 0
               ? " from " + std::to_string(result.report.crossover_nranks) +
@@ -451,8 +601,9 @@ int main(int argc, char** argv) {
     }
 
     obs::ObsContext obs;
-    const bool want_obs =
-        explain || profile || !metrics_path.empty() || want_report;
+    const bool want_ledger = !ledger_path.empty();
+    const bool want_obs = explain || profile || !metrics_path.empty() ||
+                          want_report || want_ledger;
     auto program =
         core::parallelize(source, dirs, strategy, want_obs ? &obs : nullptr,
                           plan_overrides ? &*plan_overrides : nullptr);
@@ -487,12 +638,13 @@ int main(int argc, char** argv) {
       const auto machine = mp::MachineConfig::pentium_ethernet_1999();
       trace::TraceRecorder recorder;
       codegen::SpmdRunOptions run_opts;
-      run_opts.sink =
-          metrics_path.empty() && !want_report ? nullptr : &recorder;
+      run_opts.sink = metrics_path.empty() && !want_report && !want_ledger
+                          ? nullptr
+                          : &recorder;
       run_opts.faults = faults_spec.empty() ? nullptr : &injector;
       run_opts.watchdog = watchdog;
       run_opts.engine = engine;
-      run_opts.profile = want_report;
+      run_opts.profile = want_report || want_ledger;
       if (recovery_on) {
         run_opts.recovery = mp::RecoveryConfig::parse(recovery_spec);
       }
@@ -553,7 +705,8 @@ int main(int argc, char** argv) {
           obs.metrics.add(std::string("engine.bytecode.") + key, value);
         }
       }
-      if (want_report) {
+      std::optional<prof::RunReport> run_report;
+      if (want_report || want_ledger) {
         prof::ReportOptions ropts;
         ropts.title =
             std::filesystem::path(input_path).stem().string();
@@ -562,18 +715,20 @@ int main(int argc, char** argv) {
                            : "tree";
         ropts.seq_elapsed_s = seq.elapsed;
         ropts.recovery_enabled = recovery_on;
-        const auto report = prof::build_run_report(
+        run_report = prof::build_run_report(
             *program, par, recorder.trace(), &obs.provenance, ropts);
         if (!metrics_path.empty()) {
-          prof::profile_to_metrics(report.profile, obs.metrics);
+          prof::profile_to_metrics(run_report->profile, obs.metrics);
         }
+      }
+      if (want_report) {
         if (report_path.empty()) {
           std::ostringstream ros;
-          prof::write_report(report, report_format, ros);
+          prof::write_report(*run_report, report_format, ros);
           std::fprintf(stdout, "%s", ros.str().c_str());
         } else {
           std::ofstream ros(report_path);
-          prof::write_report(report, report_format, ros);
+          prof::write_report(*run_report, report_format, ros);
           ros.flush();
           if (!ros) {
             std::fprintf(stderr, "acfd: cannot write report file '%s'\n",
@@ -587,6 +742,43 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "acfd: VALIDATION FAILED\n");
         return 1;
       }
+      if (want_ledger) {
+        // One history point per validated run. Appended only after the
+        // bit-identity check, so the ledger never trends a wrong answer.
+        ledger::RunMeta meta;
+        meta.kind = "run";
+        meta.input = std::filesystem::path(input_path).stem().string();
+        meta.machine = "pentium_ethernet_1999";
+        meta.source = source;
+        meta.seed = faults_spec.empty()
+                        ? 0
+                        : static_cast<long long>(injector.plan().seed);
+        const auto rec = ledger::make_run_record(meta, &*run_report, &obs);
+        if (const auto err = ledger::append_record(ledger_path, rec)) {
+          std::fprintf(stderr, "acfd: ledger append failed: %s\n",
+                       err->c_str());
+          return 1;
+        }
+        std::fprintf(chat, "acfd: appended 1 record to %s\n",
+                     ledger_path.c_str());
+      }
+    }
+    if (!run && !ledger_path.empty()) {
+      // Compile-only invocations still make a history point: the pass
+      // profile and compile metrics trend without a cluster run.
+      ledger::RunMeta meta;
+      meta.kind = "run";
+      meta.input = std::filesystem::path(input_path).stem().string();
+      meta.machine = "pentium_ethernet_1999";
+      meta.source = source;
+      const auto rec = ledger::make_run_record(meta, nullptr, &obs);
+      if (const auto err = ledger::append_record(ledger_path, rec)) {
+        std::fprintf(stderr, "acfd: ledger append failed: %s\n",
+                     err->c_str());
+        return 1;
+      }
+      std::fprintf(chat, "acfd: appended 1 record to %s\n",
+                   ledger_path.c_str());
     }
 
     if (profile) {

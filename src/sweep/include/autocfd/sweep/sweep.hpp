@@ -83,6 +83,15 @@ struct SweepOptions {
   mp::MachineConfig machine = mp::MachineConfig::pentium_ethernet_1999();
   /// Watchdog deadline forwarded to every cell's run.
   double watchdog = mp::Cluster::kDefaultWatchdog;
+  /// When non-empty, every executed cell appends one "sweep-cell"
+  /// ledger::RunRecord here after the sweep completes — the scaling
+  /// observatory's feed into the telemetry ledger. Append failures are
+  /// reported through SweepResult::ledger_error, never thrown: a full
+  /// disk must not discard a finished sweep.
+  std::string ledger_path;
+  /// Machine-model name stamped into ledger records; callers that
+  /// swap `machine` should rename this to match.
+  std::string machine_name = "pentium_ethernet_1999";
 };
 
 /// A finished sweep: the aggregated ScalingReport plus the underlying
@@ -91,6 +100,9 @@ struct SweepOptions {
 struct SweepResult {
   ScalingReport report;
   std::vector<prof::RunReport> cell_reports;
+  /// Diagnostic when SweepOptions::ledger_path was set and appending
+  /// failed; empty on success (or when no ledger was requested).
+  std::string ledger_error;
 };
 
 /// Executes the sweep. The source is parsed and analyzed once per

@@ -8,6 +8,7 @@
 
 #include "autocfd/fault/fault.hpp"
 #include "autocfd/fortran/parser.hpp"
+#include "autocfd/ledger/record_builders.hpp"
 #include "autocfd/mp/recovery.hpp"
 #include "autocfd/obs/json_util.hpp"
 #include "autocfd/plan/json_reader.hpp"
@@ -502,6 +503,44 @@ SweepResult run_sweep(const std::string& source,
   if (spec.plan) {
     score_plan_points(result.report, result.cell_reports, source,
                       directives, spec, options);
+  }
+
+  if (!options.ledger_path.empty()) {
+    // One telemetry record per cell, appended only now that the sweep
+    // as a whole succeeded — a cell that threw never half-populates
+    // the ledger. Each record carries the cell's full RunReport
+    // distillation plus the scaling figures only the sweep knows.
+    for (std::size_t i = 0; i < result.report.cells.size(); ++i) {
+      const auto& cell = result.report.cells[i];
+      ledger::RunMeta meta;
+      meta.kind = "sweep-cell";
+      meta.input = spec.title;
+      meta.machine = options.machine_name;
+      meta.source = source;
+      meta.seed = spec.faults.empty()
+                      ? 0
+                      : static_cast<long long>(fault_plan.seed);
+      auto rec =
+          ledger::make_run_record(meta, &result.cell_reports[i], nullptr);
+      rec.metrics["cell.speedup"] = cell.speedup;
+      rec.metrics["cell.efficiency"] = cell.efficiency;
+      rec.metrics["cell.karp_flatt"] = cell.karp_flatt;
+      rec.metrics["cell.comm_share"] = cell.comm_share;
+      rec.metrics["cell.imbalance"] = cell.imbalance;
+      for (const auto& point : result.report.plan_points) {
+        if (point.nranks != cell.nranks) continue;
+        rec.metrics["plan.predicted_s"] = point.predicted_s;
+        rec.metrics["plan.improves"] = point.improves ? 1.0 : 0.0;
+        rec.attrs["plan.partition"] = point.planned_partition;
+        rec.attrs["plan.strategy"] = point.planned_strategy;
+        break;
+      }
+      if (const auto err =
+              ledger::append_record(options.ledger_path, rec)) {
+        result.ledger_error = *err;
+        break;
+      }
+    }
   }
   return result;
 }

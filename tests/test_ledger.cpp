@@ -1,0 +1,469 @@
+// Telemetry ledger: the contract of the src/ledger subsystem.
+//
+//   * A RunRecord round-trips write -> read -> write byte-identically,
+//     including escape-heavy strings and extreme doubles — the
+//     property that lets CI diff ledgers.
+//   * The reader is tolerant: corrupt lines and foreign
+//     schema_versions cost exactly themselves, with actionable
+//     warnings naming the line; blank lines are free.
+//   * The regression sentinel is direction-aware and robust: a 2x
+//     elapsed regression trips it naming the metric, identical series
+//     and improvements never do, and metrics below min_history wait
+//     instead of gating.
+//   * Compaction keeps the newest K records per group in order;
+//     rotation renames a grown ledger aside exactly when asked.
+//   * The builders distill real artifacts: a finished run report, a
+//     bench sidecar (file and maps), and a sweep appends one coherent
+//     record per cell.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "autocfd/cfd/apps.hpp"
+#include "autocfd/core/pipeline.hpp"
+#include "autocfd/ledger/history.hpp"
+#include "autocfd/ledger/ledger.hpp"
+#include "autocfd/ledger/record_builders.hpp"
+#include "autocfd/ledger/sentinel.hpp"
+#include "autocfd/obs/obs.hpp"
+#include "autocfd/prof/report.hpp"
+#include "autocfd/support/output_paths.hpp"
+#include "autocfd/sweep/sweep.hpp"
+#include "autocfd/trace/recorder.hpp"
+
+namespace autocfd::ledger {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::path(testing::TempDir()) / name).string();
+}
+
+RunRecord make_rec(const std::string& input, double elapsed,
+                   const std::string& kind = "run") {
+  RunRecord rec;
+  rec.kind = kind;
+  rec.input = input;
+  rec.build_type = "Release";
+  rec.engine = "bytecode";
+  rec.machine = "pentium_ethernet_1999";
+  rec.metrics["elapsed_s"] = elapsed;
+  return rec;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// ------------------------------------------------------- round trips
+
+TEST(LedgerRoundTrip, WriteReadWriteIsByteIdentical) {
+  RunRecord rec = make_rec("aerofoil", 1.25);
+  rec.source_fnv = source_fingerprint("program x\nend\n");
+  rec.partition = "2x2x1";
+  rec.strategy = "min";
+  rec.nranks = 4;
+  rec.seed = 7;
+  rec.metrics["speedup"] = 1.0 / 3.0;
+  rec.metrics["huge"] = 1e308;
+  rec.metrics["tiny"] = 5e-324;
+  rec.metrics["neg"] = -0.1;
+  rec.attrs["hot.0.class"] = "A,C";
+  rec.attrs["nasty"] = "quote\" back\\slash\nnewline\ttab";
+
+  const std::string once = rec.json();
+  const auto parsed = parse_ledger(once + "\n", "mem");
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_TRUE(parsed.warnings.empty());
+  EXPECT_EQ(parsed.records[0].json(), once);
+  EXPECT_EQ(parsed.records[0].attrs.at("nasty"),
+            "quote\" back\\slash\nnewline\ttab");
+}
+
+TEST(LedgerRoundTrip, MultiRecordFileRoundTrips) {
+  const std::string path = temp_path("multi.jsonl");
+  std::error_code ec;
+  fs::remove(path, ec);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_FALSE(append_record(path, make_rec("aerofoil", 1.0 + i)));
+  }
+  const auto first = read_file(path);
+  const auto loaded = read_ledger(path);
+  ASSERT_EQ(loaded.records.size(), 5u);
+  EXPECT_TRUE(loaded.warnings.empty());
+
+  const std::string rewritten = path + ".rw";
+  fs::remove(rewritten, ec);
+  for (const auto& rec : loaded.records) {
+    ASSERT_FALSE(append_record(rewritten, rec));
+  }
+  EXPECT_EQ(read_file(rewritten), first);
+}
+
+TEST(LedgerRoundTrip, AppendIntoMissingDirectoryReportsError) {
+  const auto err = append_record(
+      temp_path("no_such_dir/sub/ledger.jsonl"), make_rec("a", 1.0));
+  ASSERT_TRUE(err.has_value());
+}
+
+// --------------------------------------------------- tolerant reader
+
+TEST(LedgerReader, CorruptLineIsSkippedWithLineNumber) {
+  const std::string text = make_rec("a", 1.0).json() + "\n" +
+                           "{this is not json\n" +
+                           make_rec("a", 2.0).json() + "\n";
+  const auto result = parse_ledger(text, "led.jsonl");
+  ASSERT_EQ(result.records.size(), 2u);
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_NE(result.warnings[0].find("led.jsonl:2:"), std::string::npos)
+      << result.warnings[0];
+  EXPECT_NE(result.warnings[0].find("skipped"), std::string::npos);
+}
+
+TEST(LedgerReader, ForeignSchemaVersionIsSkippedWithActionableWarning) {
+  RunRecord foreign = make_rec("a", 1.0);
+  foreign.schema_version = 99;
+  const std::string text =
+      foreign.json() + "\n" + make_rec("a", 2.0).json() + "\n";
+  const auto result = parse_ledger(text, "led.jsonl");
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].metrics.at("elapsed_s"), 2.0);
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_NE(result.warnings[0].find("schema_version 99"), std::string::npos)
+      << result.warnings[0];
+  EXPECT_NE(result.warnings[0].find("re-record or migrate"),
+            std::string::npos);
+}
+
+TEST(LedgerReader, BlankLinesAreFreeAndMissingFileIsOneWarning) {
+  const auto result =
+      parse_ledger("\n\n" + make_rec("a", 1.0).json() + "\n\n", "mem");
+  EXPECT_EQ(result.records.size(), 1u);
+  EXPECT_TRUE(result.warnings.empty());
+
+  const auto missing = read_ledger(temp_path("never_written.jsonl"));
+  EXPECT_TRUE(missing.records.empty());
+  EXPECT_EQ(missing.warnings.size(), 1u);
+}
+
+// ------------------------------------------------------------ sentinel
+
+std::vector<RunRecord> history_of(const std::string& metric,
+                                  std::initializer_list<double> values) {
+  std::vector<RunRecord> records;
+  for (const double v : values) {
+    RunRecord rec = make_rec("aerofoil", 0.0);
+    rec.metrics.erase("elapsed_s");
+    rec.metrics[metric] = v;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+TEST(Sentinel, DetectsDoubledElapsedNamingTheMetric) {
+  const auto records =
+      history_of("elapsed_s", {1.0, 1.0, 1.0, 1.0, 2.0});
+  const auto report = run_sentinel(records);
+  const auto regressions = report.regressions();
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0]->metric, "elapsed_s");
+  EXPECT_EQ(regressions[0]->input, "aerofoil");
+  EXPECT_DOUBLE_EQ(regressions[0]->baseline_median, 1.0);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Sentinel, IdenticalSeriesNeverTrips) {
+  const auto report = run_sentinel(
+      history_of("elapsed_s", {1.5, 1.5, 1.5, 1.5, 1.5, 1.5}));
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.metrics_checked, 1u);
+}
+
+TEST(Sentinel, HigherBetterDirectionFlagsDropsNotRises) {
+  // A speedup *drop* regresses...
+  EXPECT_FALSE(
+      run_sentinel(history_of("speedup", {2.0, 2.0, 2.0, 2.0, 1.0})).ok());
+  // ...a speedup rise does not...
+  EXPECT_TRUE(
+      run_sentinel(history_of("speedup", {2.0, 2.0, 2.0, 2.0, 3.0})).ok());
+  // ...and an elapsed *decrease* (an improvement) does not.
+  EXPECT_TRUE(
+      run_sentinel(history_of("elapsed_s", {2.0, 2.0, 2.0, 2.0, 1.0})).ok());
+}
+
+TEST(Sentinel, IdentityBitFlippingToZeroTrips) {
+  const auto report = run_sentinel(
+      history_of("results.identical", {1.0, 1.0, 1.0, 1.0, 0.0}));
+  const auto regressions = report.regressions();
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0]->metric, "results.identical");
+}
+
+TEST(Sentinel, BelowMinHistoryWaitsInsteadOfGating) {
+  const auto report =
+      run_sentinel(history_of("elapsed_s", {1.0, 1.0, 5.0}));
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.metrics_checked, 0u);
+  EXPECT_EQ(report.metrics_waiting, 1u);
+}
+
+TEST(Sentinel, NoisyHistoryGetsProportionalSlack) {
+  // MAD of {1.0, 1.3, 0.9, 1.4, 1.1} around median 1.1 is 0.2; the
+  // band admits 4 * 0.2 = 0.8, so 1.7 passes while 2.5 still trips.
+  EXPECT_TRUE(run_sentinel(
+                  history_of("elapsed_s", {1.0, 1.3, 0.9, 1.4, 1.1, 1.7}))
+                  .ok());
+  EXPECT_FALSE(run_sentinel(
+                   history_of("elapsed_s", {1.0, 1.3, 0.9, 1.4, 1.1, 2.5}))
+                   .ok());
+}
+
+TEST(Sentinel, TextAndJsonOutputsNameTheVerdict) {
+  const auto report =
+      run_sentinel(history_of("elapsed_s", {1.0, 1.0, 1.0, 1.0, 2.0}));
+  std::ostringstream text, json;
+  write_sentinel_text(report, text);
+  write_sentinel_json(report, json);
+  EXPECT_NE(text.str().find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.str().find("elapsed_s"), std::string::npos);
+  EXPECT_NE(json.str().find("\"regressed\": true"), std::string::npos);
+}
+
+// --------------------------------------------- compaction & rotation
+
+TEST(LedgerMaintenance, CompactionKeepsNewestPerGroupInOrder) {
+  const std::string path = temp_path("compact.jsonl");
+  std::error_code ec;
+  fs::remove(path, ec);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_FALSE(append_record(path, make_rec("aerofoil", 1.0 + i)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_FALSE(append_record(path, make_rec("sprayer", 10.0 + i)));
+  }
+  CompactionStats stats;
+  ASSERT_FALSE(compact_ledger(path, 2, &stats));
+  EXPECT_EQ(stats.kept, 4u);
+  EXPECT_EQ(stats.dropped, 3u);
+
+  const auto after = read_ledger(path);
+  ASSERT_EQ(after.records.size(), 4u);
+  EXPECT_EQ(after.records[0].metrics.at("elapsed_s"), 4.0);
+  EXPECT_EQ(after.records[1].metrics.at("elapsed_s"), 5.0);
+  EXPECT_EQ(after.records[2].metrics.at("elapsed_s"), 10.0);
+  EXPECT_EQ(after.records[3].metrics.at("elapsed_s"), 11.0);
+}
+
+TEST(LedgerMaintenance, RotationRenamesExactlyWhenOverLimit) {
+  const std::string path = temp_path("rotate.jsonl");
+  std::error_code ec;
+  fs::remove(path, ec);
+  fs::remove(path + ".1", ec);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_FALSE(append_record(path, make_rec("a", 1.0 + i)));
+  }
+  EXPECT_FALSE(rotate_ledger(path, 10));  // under the limit: no-op
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_TRUE(rotate_ledger(path, 3));
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(path + ".1"));
+  EXPECT_EQ(read_ledger(path + ".1").records.size(), 4u);
+}
+
+// ----------------------------------------------------------- builders
+
+TEST(RecordBuilders, DistillsARealRunReport) {
+  cfd::AerofoilParams p;
+  p.n1 = 16;
+  p.n2 = 8;
+  p.n3 = 4;
+  p.frames = 1;
+  const auto source = cfd::aerofoil_source(p);
+  DiagnosticEngine diags;
+  auto dirs = core::Directives::extract(source, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.dump();
+  dirs.partition = partition::PartitionSpec::parse("2x1x1");
+
+  obs::ObsContext obs;
+  auto program = core::parallelize(source, dirs,
+                                   sync::CombineStrategy::Min, &obs);
+  trace::TraceRecorder recorder;
+  codegen::SpmdRunOptions opts;
+  opts.sink = &recorder;
+  opts.profile = true;
+  const auto run =
+      program->run(mp::MachineConfig::pentium_ethernet_1999(), opts);
+  prof::ReportOptions ropts;
+  ropts.title = "aerofoil";
+  ropts.engine = "bytecode";
+  const auto report = prof::build_run_report(*program, run,
+                                             recorder.trace(), nullptr,
+                                             ropts);
+
+  RunMeta meta;
+  meta.kind = "run";
+  meta.input = "aerofoil";
+  meta.machine = "pentium_ethernet_1999";
+  meta.source = source;
+  const auto rec = make_run_record(meta, &report, &obs);
+
+  EXPECT_EQ(rec.kind, "run");
+  EXPECT_EQ(rec.engine, "bytecode");
+  EXPECT_EQ(rec.partition, "2x1x1");
+  EXPECT_EQ(rec.nranks, 2);
+  EXPECT_EQ(rec.source_fnv, source_fingerprint(source));
+  EXPECT_DOUBLE_EQ(rec.metrics.at("elapsed_s"), report.elapsed_s);
+  EXPECT_GT(rec.metrics.at("comm.messages"), 0.0);
+  EXPECT_GT(rec.metrics.at("compile.field_loops"), 0.0);
+  EXPECT_TRUE(rec.metrics.count("hot.0.time_s"));
+  EXPECT_TRUE(rec.attrs.count("hot.0.class"));
+  EXPECT_TRUE(rec.metrics.count("phase.total.wall_s"));
+  // comm.share is a true share of the rank-time decomposition.
+  const double share = rec.metrics.at("comm.share");
+  EXPECT_GE(share, 0.0);
+  EXPECT_LE(share, 1.0);
+  // And the whole thing round-trips like any other record.
+  const auto back = parse_ledger(rec.json() + "\n", "mem");
+  ASSERT_EQ(back.records.size(), 1u);
+  EXPECT_EQ(back.records[0].json(), rec.json());
+}
+
+TEST(RecordBuilders, LiftsSidecarMetaIntoIdentity) {
+  std::map<std::string, double> numbers{{"meta.seed", 7.0},
+                                        {"aero.elapsed_s", 1.5},
+                                        {"meta.schema_version", 1.0}};
+  std::map<std::string, std::string> strings{
+      {"meta.build_type", "Debug"},
+      {"meta.engine", "tree"},
+      {"meta.machine", "pentium_ethernet_1999"},
+      {"hot.0.class", "A"}};
+  const auto rec = record_from_sidecar("fig_x", numbers, strings);
+  EXPECT_EQ(rec.kind, "bench");
+  EXPECT_EQ(rec.input, "fig_x");
+  EXPECT_EQ(rec.build_type, "Debug");
+  EXPECT_EQ(rec.engine, "tree");
+  EXPECT_EQ(rec.seed, 7);
+  EXPECT_EQ(rec.metrics.at("aero.elapsed_s"), 1.5);
+  EXPECT_EQ(rec.attrs.at("hot.0.class"), "A");
+  EXPECT_FALSE(rec.metrics.count("meta.seed"));
+}
+
+TEST(RecordBuilders, ReadsASidecarFileAndStripsThePrefix) {
+  const std::string path = temp_path("BENCH_fig_demo.json");
+  {
+    std::ofstream os(path);
+    os << "{\n  \"demo.elapsed_s\": 2.5,\n  \"meta.engine\": "
+          "\"bytecode\"\n}\n";
+  }
+  std::string error;
+  const auto rec = record_from_sidecar_file(path, &error);
+  ASSERT_TRUE(rec.has_value()) << error;
+  EXPECT_EQ(rec->input, "fig_demo");
+  EXPECT_EQ(rec->engine, "bytecode");
+  EXPECT_EQ(rec->metrics.at("demo.elapsed_s"), 2.5);
+
+  EXPECT_FALSE(
+      record_from_sidecar_file(temp_path("missing.json"), &error));
+  EXPECT_NE(error.find("missing.json"), std::string::npos);
+}
+
+// ----------------------------------------------------- sweep producer
+
+TEST(SweepLedger, AppendsOneCoherentRecordPerCell) {
+  cfd::AerofoilParams p;
+  p.n1 = 16;
+  p.n2 = 8;
+  p.n3 = 4;
+  p.frames = 1;
+  const auto source = cfd::aerofoil_source(p);
+  DiagnosticEngine diags;
+  const auto dirs = core::Directives::extract(source, diags);
+  ASSERT_FALSE(diags.has_errors());
+
+  sweep::SweepSpec spec;
+  spec.title = "aerofoil";
+  spec.ranks = {1, 2};
+  const std::string path = temp_path("sweep.jsonl");
+  std::error_code ec;
+  fs::remove(path, ec);
+  sweep::SweepOptions options;
+  options.ledger_path = path;
+  const auto result = sweep::run_sweep(source, dirs, spec, options);
+  EXPECT_TRUE(result.ledger_error.empty()) << result.ledger_error;
+
+  const auto loaded = read_ledger(path);
+  ASSERT_EQ(loaded.records.size(), result.report.cells.size());
+  for (std::size_t i = 0; i < loaded.records.size(); ++i) {
+    const auto& rec = loaded.records[i];
+    const auto& cell = result.report.cells[i];
+    EXPECT_EQ(rec.kind, "sweep-cell");
+    EXPECT_EQ(rec.input, "aerofoil");
+    EXPECT_EQ(rec.nranks, cell.nranks);
+    EXPECT_EQ(rec.partition, cell.partition);
+    EXPECT_DOUBLE_EQ(rec.metrics.at("elapsed_s"), cell.elapsed_s);
+    EXPECT_DOUBLE_EQ(rec.metrics.at("cell.speedup"), cell.speedup);
+    EXPECT_DOUBLE_EQ(rec.metrics.at("cell.efficiency"), cell.efficiency);
+    EXPECT_TRUE(rec.metrics.count("cell.comm_share"));
+  }
+}
+
+// ------------------------------------------------------------ history
+
+TEST(History, SparklineShapesFollowTheSeries) {
+  EXPECT_EQ(sparkline({1.0, 1.0, 1.0}, 8), "===");
+  const auto rising = sparkline({0.0, 1.0, 2.0, 3.0}, 8);
+  EXPECT_EQ(rising.front(), ' ');
+  EXPECT_EQ(rising.back(), '@');
+  // Only the last `width` samples are drawn.
+  EXPECT_EQ(sparkline({9.0, 9.0, 1.0, 1.0}, 2).size(), 2u);
+}
+
+TEST(History, RendersAllThreeFormats) {
+  std::vector<RunRecord> records;
+  for (int i = 0; i < 4; ++i) {
+    records.push_back(make_rec("aerofoil", 1.0 + 0.1 * i));
+  }
+  std::ostringstream text, json, html;
+  write_history(records, HistoryFormat::Text, text);
+  write_history(records, HistoryFormat::Json, json);
+  write_history(records, HistoryFormat::Html, html);
+  EXPECT_NE(text.str().find("== run aerofoil"), std::string::npos);
+  EXPECT_NE(text.str().find("elapsed_s"), std::string::npos);
+  EXPECT_NE(json.str().find("\"metric\": \"elapsed_s\""),
+            std::string::npos);
+  EXPECT_NE(html.str().find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.str().find("elapsed_s"), std::string::npos);
+  // Format parsing: empty means text, junk is rejected.
+  EXPECT_EQ(parse_history_format(""), HistoryFormat::Text);
+  EXPECT_EQ(parse_history_format("html"), HistoryFormat::Html);
+  EXPECT_FALSE(parse_history_format("pdf").has_value());
+}
+
+// ----------------------------------------------- output-path guarding
+
+TEST(OutputPaths, LedgerAndHistoryDestinationsAreValidated) {
+  // The same validator acfd routes --ledger/--history-out through.
+  const auto bad = support::validate_output_paths(
+      {{"--ledger", temp_path("no_such_dir/ledger.jsonl")}});
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_NE(bad->find("--ledger"), std::string::npos);
+
+  const auto dup = support::validate_output_paths(
+      {{"--ledger", temp_path("same.jsonl")},
+       {"--history-out", temp_path("same.jsonl")}});
+  ASSERT_TRUE(dup.has_value());
+
+  const auto ok = support::validate_output_paths(
+      {{"--ledger", temp_path("fine.jsonl")}});
+  EXPECT_FALSE(ok.has_value());
+}
+
+}  // namespace
+}  // namespace autocfd::ledger

@@ -1,8 +1,11 @@
-// bench_compare: regression gate over two BENCH_*.json sidecars.
+// bench_compare: regression gate over BENCH_*.json sidecars.
 //
 //   bench_compare baseline.json current.json [--threshold=0.10]
+//                 [--format=text|json|md]
+//   bench_compare --baseline-dir=DIR [--current-dir=DIR]
+//                 [--threshold=0.10] [--format=text|json|md]
 //
-// Compares the performance keys the two flat sidecars share:
+// Compares the performance keys two flat sidecars share:
 //   * keys containing "elapsed"  — virtual/wall run time, lower is
 //     better; a regression is current > baseline * (1 + threshold);
 //   * keys containing "speedup"  — higher is better; a regression is
@@ -15,19 +18,27 @@
 // summary count instead of failing the gate — sidecars legitimately
 // gain, drop, and retype keys as benches grow.
 //
+// Directory mode gates a whole tree of benches in one invocation:
+// every BENCH_*.json in --baseline-dir is compared against the file of
+// the same name in --current-dir (default "."). Files present on one
+// side only are reported but never gate — benches come and go.
+//
 // Sidecars embed a "meta." block (build type, engine, machine model,
 // sidecar schema version — see bench_util::record_metadata). When the
 // two sidecars disagree on any meta key, every comparison below it is
 // apples-to-oranges (a Debug build "regresses" ~10x against a Release
 // baseline), so each mismatch prints a loud warning; the gate itself
 // still runs.
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -119,10 +130,280 @@ Direction classify(const std::string& key) {
   return Direction::Informational;
 }
 
+/// One line of a comparison, typed so every output format renders the
+/// same facts.
+struct Row {
+  enum class Kind { MetaMismatch, Compared, Skipped };
+  Kind kind = Kind::Compared;
+  std::string key;
+  std::string note;  // mismatch/skip explanation
+  double baseline = 0.0;
+  double current = 0.0;
+  double delta = 0.0;  // relative, compared rows only
+  bool regressed = false;
+};
+
+/// One sidecar pair's verdict.
+struct CompareResult {
+  std::string name;  // file name in directory mode, else "current"
+  std::string baseline_path, current_path;
+  std::vector<Row> rows;
+  int compared = 0, skipped = 0, meta_mismatches = 0, regressions = 0;
+};
+
+CompareResult compare_sidecars(const std::string& name,
+                               const std::string& baseline_path,
+                               const std::string& current_path,
+                               const std::map<std::string, double>& baseline,
+                               const std::map<std::string, std::string>& bstr,
+                               const std::map<std::string, double>& current,
+                               const std::map<std::string, std::string>& cstr,
+                               double threshold) {
+  CompareResult r;
+  r.name = name;
+  r.baseline_path = baseline_path;
+  r.current_path = current_path;
+
+  // Metadata agreement first: a mismatched build type / engine /
+  // machine model makes every perf delta below meaningless, so say so
+  // before the numbers scroll by. Numeric meta keys (schema version,
+  // seed) are checked the same way.
+  const auto warn_meta = [&](const std::string& key, const std::string& base,
+                             const std::string& cur) {
+    ++r.meta_mismatches;
+    Row row;
+    row.kind = Row::Kind::MetaMismatch;
+    row.key = key;
+    row.note = "baseline '" + base + "' vs current '" + cur +
+               "' — comparing different configurations";
+    r.rows.push_back(std::move(row));
+  };
+  const auto num_str = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return std::string(buf);
+  };
+  for (const auto& [key, base] : bstr) {
+    if (key.rfind("meta.", 0) != 0) continue;
+    const auto it = cstr.find(key);
+    if (it == cstr.end()) {
+      warn_meta(key, base, "(absent)");
+    } else if (it->second != base) {
+      warn_meta(key, base, it->second);
+    }
+  }
+  for (const auto& [key, base] : baseline) {
+    if (key.rfind("meta.", 0) != 0) continue;
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      warn_meta(key, num_str(base), "(absent)");
+    } else if (it->second != base) {
+      warn_meta(key, num_str(base), num_str(it->second));
+    }
+  }
+  for (const auto& [key, cur] : cstr) {
+    if (key.rfind("meta.", 0) != 0) continue;
+    if (bstr.count(key) == 0) warn_meta(key, "(absent)", cur);
+  }
+  for (const auto& [key, cur] : current) {
+    if (key.rfind("meta.", 0) != 0) continue;
+    if (baseline.count(key) == 0) warn_meta(key, "(absent)", num_str(cur));
+  }
+
+  const auto skip = [&](const std::string& key, std::string why) {
+    ++r.skipped;
+    Row row;
+    row.kind = Row::Kind::Skipped;
+    row.key = key;
+    row.note = std::move(why);
+    r.rows.push_back(std::move(row));
+  };
+  for (const auto& [key, base] : baseline) {
+    if (classify(key) == Direction::Informational) continue;
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      if (cstr.count(key) != 0) {
+        skip(key, "number in baseline, string in current");
+      } else {
+        char detail[64];
+        std::snprintf(detail, sizeof detail, "only in baseline (was %.6g)",
+                      base);
+        skip(key, detail);
+      }
+      continue;
+    }
+    const Direction dir = classify(key);
+    Row row;
+    row.key = key;
+    row.baseline = base;
+    row.current = it->second;
+    row.delta = base != 0.0 ? (row.current - base) / base : 0.0;
+    row.regressed = dir == Direction::LowerBetter
+                        ? row.current > base * (1.0 + threshold)
+                        : row.current < base * (1.0 - threshold);
+    ++r.compared;
+    if (row.regressed) ++r.regressions;
+    r.rows.push_back(std::move(row));
+  }
+  for (const auto& [key, cur] : current) {
+    if (classify(key) == Direction::Informational) continue;
+    if (baseline.count(key) != 0) continue;
+    if (bstr.count(key) != 0) {
+      skip(key, "string in baseline, number in current");
+    } else {
+      char detail[64];
+      std::snprintf(detail, sizeof detail, "only in current (now %.6g)", cur);
+      skip(key, detail);
+    }
+  }
+  return r;
+}
+
+void emit_text(const std::vector<CompareResult>& results, double threshold,
+               bool show_headers) {
+  int compared = 0, skipped = 0, meta = 0, regressions = 0;
+  for (const auto& r : results) {
+    if (show_headers) {
+      std::printf("== %s (%s vs %s)\n", r.name.c_str(),
+                  r.baseline_path.c_str(), r.current_path.c_str());
+    }
+    for (const auto& row : r.rows) {
+      switch (row.kind) {
+        case Row::Kind::MetaMismatch:
+          std::printf("  WARNING   %-40s %s\n", row.key.c_str(),
+                      row.note.c_str());
+          break;
+        case Row::Kind::Skipped:
+          std::printf("  skipped   %-40s %s (not gating)\n", row.key.c_str(),
+                      row.note.c_str());
+          break;
+        case Row::Kind::Compared:
+          std::printf("  %-9s %-40s %.6g -> %.6g (%+.1f%%)\n",
+                      row.regressed ? "REGRESSED" : "ok", row.key.c_str(),
+                      row.baseline, row.current, row.delta * 100.0);
+          break;
+      }
+    }
+    compared += r.compared;
+    skipped += r.skipped;
+    meta += r.meta_mismatches;
+    regressions += r.regressions;
+  }
+  std::printf(
+      "bench_compare: %d perf key(s) compared, %d skipped with warnings, "
+      "%d metadata mismatch(es), %d regression(s) beyond %.0f%%\n",
+      compared, skipped, meta, regressions, threshold * 100.0);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void emit_json(const std::vector<CompareResult>& results, double threshold) {
+  int regressions = 0;
+  for (const auto& r : results) regressions += r.regressions;
+  std::printf("{\n  \"threshold\": %.17g,\n  \"regressions\": %d,\n"
+              "  \"files\": [",
+              threshold, regressions);
+  for (std::size_t f = 0; f < results.size(); ++f) {
+    const auto& r = results[f];
+    std::printf("%s\n    {\"name\": \"%s\", \"baseline\": \"%s\", "
+                "\"current\": \"%s\", \"compared\": %d, \"skipped\": %d, "
+                "\"meta_mismatches\": %d, \"regressions\": %d, \"rows\": [",
+                f > 0 ? "," : "", json_escape(r.name).c_str(),
+                json_escape(r.baseline_path).c_str(),
+                json_escape(r.current_path).c_str(), r.compared, r.skipped,
+                r.meta_mismatches, r.regressions);
+    bool first = true;
+    for (const auto& row : r.rows) {
+      std::printf("%s\n      ", first ? "" : ",");
+      first = false;
+      switch (row.kind) {
+        case Row::Kind::MetaMismatch:
+          std::printf("{\"kind\": \"meta-mismatch\", \"key\": \"%s\", "
+                      "\"note\": \"%s\"}",
+                      json_escape(row.key).c_str(),
+                      json_escape(row.note).c_str());
+          break;
+        case Row::Kind::Skipped:
+          std::printf("{\"kind\": \"skipped\", \"key\": \"%s\", "
+                      "\"note\": \"%s\"}",
+                      json_escape(row.key).c_str(),
+                      json_escape(row.note).c_str());
+          break;
+        case Row::Kind::Compared:
+          std::printf("{\"kind\": \"compared\", \"key\": \"%s\", "
+                      "\"baseline\": %.17g, \"current\": %.17g, "
+                      "\"delta\": %.17g, \"regressed\": %s}",
+                      json_escape(row.key).c_str(), row.baseline, row.current,
+                      row.delta, row.regressed ? "true" : "false");
+          break;
+      }
+    }
+    std::printf("\n    ]}");
+  }
+  std::printf("\n  ]\n}\n");
+}
+
+void emit_md(const std::vector<CompareResult>& results, double threshold) {
+  int regressions = 0;
+  for (const auto& r : results) regressions += r.regressions;
+  std::printf("## bench_compare (threshold %.0f%%, %d regression(s))\n\n",
+              threshold * 100.0, regressions);
+  for (const auto& r : results) {
+    std::printf("### %s\n\n", r.name.c_str());
+    std::printf("| verdict | key | baseline | current | delta |\n");
+    std::printf("|---|---|---:|---:|---:|\n");
+    for (const auto& row : r.rows) {
+      switch (row.kind) {
+        case Row::Kind::MetaMismatch:
+          std::printf("| warning | `%s` | | | %s |\n", row.key.c_str(),
+                      row.note.c_str());
+          break;
+        case Row::Kind::Skipped:
+          std::printf("| skipped | `%s` | | | %s |\n", row.key.c_str(),
+                      row.note.c_str());
+          break;
+        case Row::Kind::Compared:
+          std::printf("| %s | `%s` | %.6g | %.6g | %+.1f%% |\n",
+                      row.regressed ? "**REGRESSED**" : "ok", row.key.c_str(),
+                      row.baseline, row.current, row.delta * 100.0);
+          break;
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_compare baseline.json current.json [--threshold=0.10]\n"
+      "                     [--format=text|json|md]\n"
+      "       bench_compare --baseline-dir=DIR [--current-dir=DIR]\n"
+      "                     [--threshold=0.10] [--format=text|json|md]\n");
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string baseline_path, current_path;
+  std::string baseline_dir, current_dir = ".";
+  std::string format = "text";
   double threshold = 0.10;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -133,123 +414,108 @@ int main(int argc, char** argv) {
                      arg.c_str());
         return 2;
       }
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "md") {
+        std::fprintf(stderr, "bench_compare: unknown format '%s'\n",
+                     format.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--baseline-dir=", 0) == 0) {
+      baseline_dir = arg.substr(15);
+    } else if (arg.rfind("--current-dir=", 0) == 0) {
+      current_dir = arg.substr(14);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown option '%s'\n",
+                   arg.c_str());
+      return usage();
     } else if (baseline_path.empty()) {
       baseline_path = arg;
     } else if (current_path.empty()) {
       current_path = arg;
     } else {
-      std::fprintf(stderr,
-                   "usage: bench_compare baseline.json current.json "
-                   "[--threshold=0.10]\n");
+      return usage();
+    }
+  }
+
+  const bool dir_mode = !baseline_dir.empty();
+  if (dir_mode && (!baseline_path.empty() || !current_path.empty())) {
+    return usage();
+  }
+  if (!dir_mode && current_path.empty()) return usage();
+
+  std::vector<CompareResult> results;
+  if (dir_mode) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(baseline_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          entry.path().extension() == ".json") {
+        names.push_back(name);
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "bench_compare: cannot list '%s': %s\n",
+                   baseline_dir.c_str(), ec.message().c_str());
       return 2;
     }
-  }
-  if (current_path.empty()) {
-    std::fprintf(stderr,
-                 "usage: bench_compare baseline.json current.json "
-                 "[--threshold=0.10]\n");
-    return 2;
-  }
-
-  std::map<std::string, double> baseline, current;
-  std::map<std::string, std::string> baseline_strings, current_strings;
-  if (!parse_flat_sidecar(baseline_path, baseline, baseline_strings)) return 2;
-  if (!parse_flat_sidecar(current_path, current, current_strings)) return 2;
-
-  // Metadata agreement first: a mismatched build type / engine /
-  // machine model makes every perf delta below meaningless, so say so
-  // before the numbers scroll by. Numeric meta keys (schema version,
-  // seed) are checked the same way.
-  int meta_mismatches = 0;
-  const auto warn_meta = [&](const std::string& key, const std::string& base,
-                             const std::string& cur) {
-    ++meta_mismatches;
-    std::printf(
-        "  WARNING   %-40s baseline '%s' vs current '%s' — comparing "
-        "different configurations\n",
-        key.c_str(), base.c_str(), cur.c_str());
-  };
-  for (const auto& [key, base] : baseline_strings) {
-    if (key.rfind("meta.", 0) != 0) continue;
-    const auto it = current_strings.find(key);
-    if (it == current_strings.end()) {
-      warn_meta(key, base, "(absent)");
-    } else if (it->second != base) {
-      warn_meta(key, base, it->second);
+    if (names.empty()) {
+      std::fprintf(stderr, "bench_compare: no BENCH_*.json in '%s'\n",
+                   baseline_dir.c_str());
+      return 2;
     }
-  }
-  for (const auto& [key, base] : baseline) {
-    if (key.rfind("meta.", 0) != 0) continue;
-    const auto it = current.find(key);
-    char base_buf[32], cur_buf[32];
-    std::snprintf(base_buf, sizeof base_buf, "%g", base);
-    if (it == current.end()) {
-      warn_meta(key, base_buf, "(absent)");
-    } else if (it->second != base) {
-      std::snprintf(cur_buf, sizeof cur_buf, "%g", it->second);
-      warn_meta(key, base_buf, cur_buf);
-    }
-  }
-  for (const auto& [key, cur] : current_strings) {
-    if (key.rfind("meta.", 0) != 0) continue;
-    if (baseline_strings.count(key) == 0) warn_meta(key, "(absent)", cur);
-  }
-  for (const auto& [key, cur] : current) {
-    if (key.rfind("meta.", 0) != 0) continue;
-    if (baseline.count(key) == 0) {
-      char cur_buf[32];
-      std::snprintf(cur_buf, sizeof cur_buf, "%g", cur);
-      warn_meta(key, "(absent)", cur_buf);
-    }
-  }
-
-  int regressions = 0, compared = 0, skipped = 0;
-  const auto skip = [&](const char* why, const std::string& key,
-                        const char* detail) {
-    ++skipped;
-    std::printf("  skipped   %-40s %s%s (not gating)\n", key.c_str(), why,
-                detail);
-  };
-  for (const auto& [key, base] : baseline) {
-    if (classify(key) == Direction::Informational) continue;
-    const auto it = current.find(key);
-    if (it == current.end()) {
-      if (current_strings.count(key) != 0) {
-        skip("number in baseline, string in current", key, "");
-      } else {
-        char detail[48];
-        std::snprintf(detail, sizeof detail, " (was %.6g)", base);
-        skip("only in baseline", key, detail);
+    std::sort(names.begin(), names.end());
+    for (const auto& name : names) {
+      const std::string base_path =
+          (fs::path(baseline_dir) / name).string();
+      const std::string cur_path = (fs::path(current_dir) / name).string();
+      if (!fs::exists(cur_path)) {
+        std::fprintf(stderr,
+                     "bench_compare: warning: '%s' has no counterpart in "
+                     "'%s' (skipped)\n",
+                     name.c_str(), current_dir.c_str());
+        continue;
       }
-      continue;
+      std::map<std::string, double> base, cur;
+      std::map<std::string, std::string> base_str, cur_str;
+      if (!parse_flat_sidecar(base_path, base, base_str)) return 2;
+      if (!parse_flat_sidecar(cur_path, cur, cur_str)) return 2;
+      results.push_back(compare_sidecars(name, base_path, cur_path, base,
+                                         base_str, cur, cur_str, threshold));
     }
-    const Direction dir = classify(key);
-    ++compared;
-    const double cur = it->second;
-    const double delta = base != 0.0 ? (cur - base) / base : 0.0;
-    const bool regressed = dir == Direction::LowerBetter
-                               ? cur > base * (1.0 + threshold)
-                               : cur < base * (1.0 - threshold);
-    const char* mark = regressed ? "REGRESSED" : "ok";
-    std::printf("  %-9s %-40s %.6g -> %.6g (%+.1f%%)\n", mark, key.c_str(),
-                base, cur, delta * 100.0);
-    if (regressed) ++regressions;
-  }
-  for (const auto& [key, cur] : current) {
-    if (classify(key) == Direction::Informational) continue;
-    if (baseline.count(key) != 0) continue;
-    if (baseline_strings.count(key) != 0) {
-      skip("string in baseline, number in current", key, "");
-    } else {
-      char detail[48];
-      std::snprintf(detail, sizeof detail, " (now %.6g)", cur);
-      skip("only in current", key, detail);
+    // New benches in current only are informational, mirroring new keys.
+    for (const auto& entry : fs::directory_iterator(current_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          entry.path().extension() == ".json" &&
+          std::find(names.begin(), names.end(), name) == names.end()) {
+        std::fprintf(stderr,
+                     "bench_compare: warning: '%s' has no baseline in '%s' "
+                     "(skipped)\n",
+                     name.c_str(), baseline_dir.c_str());
+      }
     }
+  } else {
+    std::map<std::string, double> base, cur;
+    std::map<std::string, std::string> base_str, cur_str;
+    if (!parse_flat_sidecar(baseline_path, base, base_str)) return 2;
+    if (!parse_flat_sidecar(current_path, cur, cur_str)) return 2;
+    results.push_back(compare_sidecars("current", baseline_path, current_path,
+                                       base, base_str, cur, cur_str,
+                                       threshold));
   }
 
-  std::printf(
-      "bench_compare: %d perf key(s) compared, %d skipped with warnings, "
-      "%d metadata mismatch(es), %d regression(s) beyond %.0f%%\n",
-      compared, skipped, meta_mismatches, regressions, threshold * 100.0);
+  if (format == "json") {
+    emit_json(results, threshold);
+  } else if (format == "md") {
+    emit_md(results, threshold);
+  } else {
+    emit_text(results, threshold, dir_mode);
+  }
+
+  int regressions = 0;
+  for (const auto& r : results) regressions += r.regressions;
   return regressions > 0 ? 1 : 0;
 }
